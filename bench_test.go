@@ -1,0 +1,268 @@
+// Benchmark harness: one benchmark family per table and figure of the
+// paper's evaluation. Each benchmark regenerates its experiment from the
+// simulation; wall time measures the reproduction harness itself, while
+// the experiment's own results are deterministic virtual-time numbers
+// (report the tables with cmd/experiments).
+//
+//	go test -bench=. -benchmem
+package freepart
+
+import (
+	"testing"
+
+	"freepart.dev/freepart/internal/analysis"
+	"freepart.dev/freepart/internal/apps"
+	"freepart.dev/freepart/internal/attack"
+	"freepart.dev/freepart/internal/baseline"
+	"freepart.dev/freepart/internal/core"
+	"freepart.dev/freepart/internal/framework"
+	"freepart.dev/freepart/internal/framework/all"
+	"freepart.dev/freepart/internal/kernel"
+	"freepart.dev/freepart/internal/report"
+	"freepart.dev/freepart/internal/trace"
+	"freepart.dev/freepart/internal/workload"
+)
+
+// BenchmarkTable1_SecurityMatrix regenerates the effectiveness comparison:
+// all five baselines plus FreePart under the M/C/D attacks.
+func BenchmarkTable1_SecurityMatrix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := report.Table1(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2_Categorization regenerates the motivating example's API
+// categorization via the full hybrid analysis.
+func BenchmarkTable2_Categorization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		k := kernel.New()
+		reg := all.Registry()
+		runner := trace.NewRunner(reg)
+		trace.RunSuite(k, runner)
+		cat := analysis.New(reg, runner.Recorder).Categorize()
+		if cat.TypeOf("cv.imread") != framework.TypeLoading {
+			b.Fatal("categorization broke")
+		}
+	}
+}
+
+// BenchmarkTable3_Study56 regenerates the vulnerable-API usage study.
+func BenchmarkTable3_Study56(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := attack.Table3(attack.Study56())
+		if len(rows) != 5 {
+			b.Fatal("study broke")
+		}
+	}
+}
+
+// BenchmarkTable5_ExploitConstruction builds and fires all 18 evaluation
+// exploits against a victim process.
+func BenchmarkTable5_ExploitConstruction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		k := kernel.New()
+		p := k.Spawn("victim")
+		ctx := framework.NewCtx(k, p)
+		log := &attack.Log{}
+		ctx.OnExploit = log.Handler()
+		for _, cve := range attack.EvalCVEs() {
+			k.FS.WriteFile("/evil", attack.DoS(cve.ID))
+		}
+	}
+}
+
+// BenchmarkTable6_AppSweep runs all 23 evaluation applications unprotected.
+func BenchmarkTable6_AppSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, a := range apps.All() {
+			k := kernel.New()
+			e := apps.NewEnv(k, core.NewDirect(k, all.Registry()), a)
+			if err := a.Run(e); err != nil {
+				b.Fatalf("%s: %v", a.Name, err)
+			}
+		}
+	}
+}
+
+// BenchmarkTable7_SyscallDerivation derives the per-agent syscall policies.
+func BenchmarkTable7_SyscallDerivation(b *testing.B) {
+	reg := all.Registry()
+	a := analysis.New(reg, nil)
+	cat := a.Categorize()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := a.DeriveSyscallPolicy(cat, nil)
+		if len(p) != 4 {
+			b.Fatal("policy derivation broke")
+		}
+	}
+}
+
+// BenchmarkTable9_TechniqueComparison measures the OMR workload across all
+// techniques (the Table 9 rows).
+func BenchmarkTable9_TechniqueComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, kind := range []baseline.Kind{
+			baseline.CodeAPI, baseline.CodeAPIData, baseline.LibraryEntire,
+			baseline.LibraryPerAPI, baseline.MemoryBased,
+		} {
+			if _, err := baseline.MeasureBaseline(kind, 1, 8, 4); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := baseline.MeasureFreePart(true, 1, 8, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable11_DynamicAnalysis runs the full dynamic-analysis suite.
+func BenchmarkTable11_DynamicAnalysis(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		k := kernel.New()
+		runner := trace.NewRunner(all.Registry())
+		trace.RunSuite(k, runner)
+	}
+}
+
+// BenchmarkTable12_LDC runs an app under FreePart and checks the lazy-copy
+// fraction (the Table 12 measurement).
+func BenchmarkTable12_LDC(b *testing.B) {
+	reg := all.Registry()
+	cat := analysis.New(reg, nil).Categorize()
+	a, _ := apps.ByID(8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := kernel.New()
+		rt, err := core.New(k, reg, cat, core.Default())
+		if err != nil {
+			b.Fatal(err)
+		}
+		e := apps.NewEnv(k, rt, a)
+		if err := a.Run(e); err != nil {
+			b.Fatal(err)
+		}
+		if rt.Metrics.Snapshot().LazyFraction() < 0.5 {
+			b.Fatal("LDC fraction collapsed")
+		}
+		rt.Close()
+	}
+}
+
+// BenchmarkFig4_Partitions sweeps partition counts 4..8 with one random
+// sample each.
+func BenchmarkFig4_Partitions(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := baseline.SweepPartitions(4, 8, 1, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7_CVECorpus regenerates and tabulates the 241-CVE corpus.
+func BenchmarkFig7_CVECorpus(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := attack.CorpusByTypeAndClass(attack.StudyCorpus())
+		if len(tab) != 4 {
+			b.Fatal("corpus broke")
+		}
+	}
+}
+
+// BenchmarkFig13_Overhead measures one app's protected-vs-direct overhead
+// (the Fig. 13 per-app measurement).
+func BenchmarkFig13_Overhead(b *testing.B) {
+	reg := all.Registry()
+	cat := analysis.New(reg, nil).Categorize()
+	a, _ := apps.ByID(4) // lbpcascade_anime: a mid-weight pipeline
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k1 := kernel.New()
+		e1 := apps.NewEnv(k1, core.NewDirect(k1, all.Registry()), a)
+		if err := a.Run(e1); err != nil {
+			b.Fatal(err)
+		}
+		k2 := kernel.New()
+		rt, err := core.New(k2, reg, cat, core.Default())
+		if err != nil {
+			b.Fatal(err)
+		}
+		e2 := apps.NewEnv(k2, rt, a)
+		if err := a.Run(e2); err != nil {
+			b.Fatal(err)
+		}
+		rt.Close()
+	}
+}
+
+// BenchmarkRuntime_CallPath measures the hot interposition path: one DP
+// call through the full RPC machinery.
+func BenchmarkRuntime_CallPath(b *testing.B) {
+	k := kernel.New()
+	reg := all.Registry()
+	cat := analysis.New(reg, nil).Categorize()
+	rt, err := core.New(k, reg, cat, core.Default())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rt.Close()
+	gen := workload.New(1)
+	k.FS.WriteFile("/in.img", gen.EncodedImage(16, 16, 1))
+	imgs, _, err := rt.Call("cv.imread", framework.Str("/in.img"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := rt.Call("cv.threshold", imgs[0].Value()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDirect_CallPath is the unprotected counterpart of the call-path
+// benchmark (the wall-time cost of the interposition machinery itself).
+func BenchmarkDirect_CallPath(b *testing.B) {
+	k := kernel.New()
+	d := core.NewDirect(k, all.Registry())
+	gen := workload.New(1)
+	k.FS.WriteFile("/in.img", gen.EncodedImage(16, 16, 1))
+	imgs, _, err := d.Call("cv.imread", framework.Str("/in.img"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, _, err := d.Call("cv.threshold", imgs[0].Value())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := d.Free(out[0]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkA14_SubPartitioning measures the adversarial hot-pair split.
+func BenchmarkA14_SubPartitioning(b *testing.B) {
+	reg := all.Registry()
+	cat := analysis.New(reg, nil).Categorize()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := baseline.MeasurePartitioned(5, baseline.SplitHotPairPartitionOf(cat), 1, 8, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblation_Mechanisms regenerates the per-mechanism overhead
+// ablation (the DESIGN.md design-choice benches).
+func BenchmarkAblation_Mechanisms(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := report.Ablation(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

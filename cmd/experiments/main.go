@@ -1,0 +1,86 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation. Run all of them, or pick one with -exp:
+//
+//	experiments                  # everything
+//	experiments -exp table9      # one experiment
+//	experiments -exp fig4 -samples 50 -sheets 2
+//	experiments -exp fig13 -scale 8
+//
+// Experiments: table1..table12, fig4, fig6, fig7, fig13, a14, security.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"freepart.dev/freepart/internal/report"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment to run (empty = all)")
+	samples := flag.Int("samples", 8, "random partitionings per K (fig4/a14)")
+	sheets := flag.Int("sheets", 2, "OMR sheets per measurement run")
+	scale := flag.Int("scale", 8, "input image scale for overhead runs (fig13)")
+	maxK := flag.Int("maxk", 12, "largest partition count in the fig4 sweep")
+	flag.Parse()
+
+	runners := map[string]func() (string, error){
+		"table1":   report.Table1,
+		"table2":   report.Table2,
+		"table3":   report.Table3,
+		"table4":   report.Table4,
+		"table5":   report.Table5,
+		"table6":   report.Table6,
+		"table7":   report.Table7,
+		"table8":   report.Table8,
+		"table9":   func() (string, error) { return report.Table9(*sheets) },
+		"table10":  report.Table10,
+		"table11":  report.Table11,
+		"table12":  report.Table12,
+		"fig4":     func() (string, error) { return report.Fig4(4, *maxK, *samples, *sheets) },
+		"fig6":     report.Fig6,
+		"fig7":     report.Fig7,
+		"fig12":    report.Fig12,
+		"fig13":    func() (string, error) { return report.Fig13(*scale) },
+		"ablation": func() (string, error) { return report.Ablation(*sheets) },
+		"a14":      func() (string, error) { return report.A14(*samples, *sheets) },
+		"security": report.SecurityMatrix,
+	}
+
+	if *exp != "" {
+		fn, ok := runners[*exp]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; available:\n", *exp)
+			for _, n := range sortedKeys(runners) {
+				fmt.Fprintf(os.Stderr, "  %s\n", n)
+			}
+			os.Exit(2)
+		}
+		run(*exp, fn)
+		return
+	}
+	for _, name := range sortedKeys(runners) {
+		run(name, runners[name])
+	}
+}
+
+func sortedKeys(m map[string]func() (string, error)) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func run(name string, fn func() (string, error)) {
+	fmt.Printf("=== %s ===\n", name)
+	out, err := fn()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s failed: %v\n", name, err)
+		os.Exit(1)
+	}
+	fmt.Println(out)
+}

@@ -1,0 +1,227 @@
+// Command freepart is the user-facing CLI of the FreePart reproduction:
+//
+//	freepart analyze                     # hybrid API categorization + coverage
+//	freepart apis [-framework simcv]     # list categorized APIs
+//	freepart run -app 8                  # run an evaluation app unprotected
+//	freepart protect -app 8              # run it under FreePart, print stats
+//	freepart attack -cve CVE-2017-12597  # demonstrate an attack with/without FreePart
+//	freepart list                        # list the evaluation applications
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"freepart.dev/freepart/internal/analysis"
+	"freepart.dev/freepart/internal/apps"
+	"freepart.dev/freepart/internal/attack"
+	"freepart.dev/freepart/internal/core"
+	"freepart.dev/freepart/internal/framework"
+	"freepart.dev/freepart/internal/framework/all"
+	"freepart.dev/freepart/internal/kernel"
+	"freepart.dev/freepart/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "analyze":
+		err = cmdAnalyze()
+	case "apis":
+		err = cmdAPIs(args)
+	case "list":
+		err = cmdList()
+	case "run":
+		err = cmdRun(args, false)
+	case "protect":
+		err = cmdRun(args, true)
+	case "attack":
+		err = cmdAttack(args)
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: freepart <command> [flags]
+
+commands:
+  analyze    run the hybrid analysis and report categorization + coverage
+  apis       list categorized framework APIs (-framework to filter)
+  list       list the evaluation applications
+  run        run an application unprotected (-app <id>, -scale <n>)
+  protect    run an application under FreePart (-app <id>, -scale <n>)
+  attack     demonstrate an attack (-cve <id>) with and without FreePart`)
+}
+
+// hybrid runs the dynamic suite and returns the analyzer + categorization.
+func hybrid() (*analysis.Analyzer, *analysis.Categorization, *trace.Runner) {
+	k := kernel.New()
+	reg := all.Registry()
+	runner := trace.NewRunner(reg)
+	trace.RunSuite(k, runner)
+	a := analysis.New(reg, runner.Recorder)
+	return a, a.Categorize(), runner
+}
+
+func cmdAnalyze() error {
+	a, cat, runner := hybrid()
+	acc, wrong := a.Accuracy(cat)
+	fmt.Printf("hybrid categorization: %d APIs, accuracy %.1f%% against ground truth\n",
+		a.Registry.Len(), acc*100)
+	for _, w := range wrong {
+		fmt.Println("  mismatch:", w)
+	}
+	if len(cat.Reduced) > 0 {
+		fmt.Println("memory-copy-via-file reduction fired for:", cat.Reduced)
+	}
+	for _, fw := range a.Registry.Frameworks() {
+		cov := runner.CoverageFor(fw)
+		fmt.Printf("  %-10s API coverage %.1f%% (%d/%d), code coverage %.0f%%\n",
+			fw, cov.APIPct(), cov.APICovered, cov.APITotal, cov.CodeCoverage)
+	}
+	rep := a.Stateful()
+	fmt.Printf("stateful APIs: %d (%d with shared state)\n", len(rep.Stateful), len(rep.Shared))
+	return nil
+}
+
+func cmdAPIs(args []string) error {
+	fs := flag.NewFlagSet("apis", flag.ExitOnError)
+	fw := fs.String("framework", "", "only this framework")
+	_ = fs.Parse(args)
+	_, cat, _ := hybrid()
+	reg := all.Registry()
+	for _, api := range reg.All() {
+		if *fw != "" && api.Framework != *fw {
+			continue
+		}
+		flags := ""
+		if api.Neutral || cat.Neutral[api.Name] {
+			flags += " neutral"
+		}
+		if api.Stateful {
+			flags += " stateful"
+		}
+		if api.Vulnerable() {
+			flags += fmt.Sprintf(" CVEs=%v", api.CVEs)
+		}
+		fmt.Printf("%-4s %-55s %s%s\n", cat.TypeOf(api.Name).String(), api.Name, api.Framework, flags)
+	}
+	return nil
+}
+
+func cmdList() error {
+	for _, a := range apps.All() {
+		fmt.Printf("%2d  %-22s %-9s %-7s %s\n", a.ID, a.Name, a.Framework, a.Lang, a.Desc)
+	}
+	return nil
+}
+
+func cmdRun(args []string, protected bool) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	id := fs.Int("app", 8, "application id (see freepart list)")
+	scale := fs.Int("scale", 1, "input image scale")
+	_ = fs.Parse(args)
+	a, ok := apps.ByID(*id)
+	if !ok {
+		return fmt.Errorf("no app %d", *id)
+	}
+	k := kernel.New()
+	var ex core.Executor
+	var rt *core.Runtime
+	if protected {
+		_, cat, _ := hybrid()
+		var err error
+		rt, err = core.New(k, all.Registry(), cat, core.Default())
+		if err != nil {
+			return err
+		}
+		defer rt.Close()
+		ex = rt
+	} else {
+		ex = core.NewDirect(k, all.Registry())
+	}
+	e := apps.NewEnvScaled(k, ex, a, *scale)
+	start := k.Clock.Now()
+	if err := a.Run(e); err != nil {
+		return err
+	}
+	elapsed := k.Clock.Now() - start
+	mode := "unprotected"
+	if protected {
+		mode = "FreePart"
+	}
+	fmt.Printf("%s (%s): %d framework calls, virtual time %v\n", a.Name, mode, len(e.Calls), elapsed)
+	if rt != nil {
+		s := rt.Metrics.Snapshot()
+		fmt.Printf("  ipc=%d bytes=%d lazy=%d eager=%d (lazy fraction %.1f%%) permFlips=%d restarts=%d\n",
+			s.IPCCalls, s.BytesMoved, s.LazyCopies, s.EagerCopies, 100*s.LazyFraction(), s.PermFlips, s.Restarts)
+		for _, p := range k.Processes() {
+			fmt.Printf("  %-26s %s\n", p.Name(), p.State())
+		}
+	}
+	return nil
+}
+
+func cmdAttack(args []string) error {
+	fs := flag.NewFlagSet("attack", flag.ExitOnError)
+	cveID := fs.String("cve", "CVE-2017-12597", "evaluation CVE to exploit")
+	_ = fs.Parse(args)
+	cve, ok := attack.EvalCVEByID(*cveID)
+	if !ok {
+		return fmt.Errorf("unknown evaluation CVE %s (see freepart analyze)", *cveID)
+	}
+	fmt.Printf("%s: %s in %s (%s)\n", cve.ID, cve.Class, cve.API, cve.APIType.Long())
+
+	// Unprotected: the exploit corrupts the app's critical data.
+	k1 := kernel.New()
+	d := core.NewDirect(k1, all.Registry())
+	log1 := &attack.Log{}
+	d.Ctx.OnExploit = log1.Handler()
+	crit, err := d.Proc.Space().Alloc(32)
+	if err != nil {
+		return err
+	}
+	_ = d.Proc.Space().Store(crit.Base, []byte("critical-data"))
+	k1.FS.WriteFile("/evil.img", attack.Corrupt(cve.ID, crit.Base, []byte("OWNED")))
+	_, _, _ = d.Call("cv.imread", framework.Str("/evil.img"))
+	got, _ := d.Proc.Space().Load(crit.Base, 5)
+	fmt.Printf("unprotected: exploit fired=%v, critical data now %q, process %s\n",
+		log1.Last() != nil, got, d.Proc.State())
+
+	// Protected: same exploit under FreePart.
+	k2 := kernel.New()
+	_, cat, _ := hybrid()
+	rt, err := core.New(k2, all.Registry(), cat, core.Default())
+	if err != nil {
+		return err
+	}
+	defer rt.Close()
+	log2 := &attack.Log{}
+	rt.OnExploit = log2.Handler()
+	crit2, err := rt.Host.Space().Alloc(32)
+	if err != nil {
+		return err
+	}
+	_ = rt.Host.Space().Store(crit2.Base, []byte("critical-data"))
+	rt.RegisterCritical(crit2)
+	k2.FS.WriteFile("/evil.img", attack.Corrupt(cve.ID, crit2.Base, []byte("OWNED")))
+	_, _, _ = rt.Call("cv.imread", framework.Str("/evil.img"))
+	got2, _ := rt.Host.Space().Load(crit2.Base, 13)
+	fmt.Printf("FreePart:    exploit fired=%v, critical data now %q, host %s\n",
+		log2.Last() != nil, got2, rt.Host.State())
+	s := rt.Metrics.Snapshot()
+	fmt.Printf("             restarts=%d\n", s.Restarts)
+	return nil
+}

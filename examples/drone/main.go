@@ -1,0 +1,87 @@
+// Autonomous drone case study (§5.4.1).
+//
+// The drone tracks an object through camera frames. Two attacks arrive as
+// crafted frames: a DoS (CVE-2017-14136) that crashes the loading path,
+// and a data corruption (CVE-2017-12606) that tries to flip the drone's
+// speed configuration to -0.3 (fly away from the target). Unprotected, the
+// drone falls out of the sky and then flies backwards; under FreePart it
+// hovers through the poisoned frames and keeps its configuration.
+//
+//	go run ./examples/drone
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"freepart.dev/freepart/internal/analysis"
+	"freepart.dev/freepart/internal/apps"
+	"freepart.dev/freepart/internal/attack"
+	"freepart.dev/freepart/internal/core"
+	"freepart.dev/freepart/internal/framework/all"
+	"freepart.dev/freepart/internal/kernel"
+)
+
+func main() {
+	fmt.Println("=== unprotected drone ===")
+	fly(false)
+	fmt.Println()
+	fmt.Println("=== FreePart drone ===")
+	fly(true)
+}
+
+func fly(protected bool) {
+	app := apps.DroneApp()
+	k := kernel.New()
+	reg := all.Registry()
+	var ex core.Executor
+	var rt *core.Runtime
+	if protected {
+		cat := analysis.New(reg, nil).Categorize()
+		var err error
+		rt, err = core.New(k, reg, cat, core.Default())
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer rt.Close()
+		ex = rt
+	} else {
+		ex = core.NewDirect(k, reg)
+	}
+	e := apps.NewEnv(k, ex, app)
+	drone, err := apps.NewDrone(e)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	alog := &attack.Log{}
+	if rt != nil {
+		rt.OnExploit = alog.Handler()
+	} else {
+		ex.(*core.Direct).Ctx.OnExploit = alog.Handler()
+	}
+
+	// Poison two of the camera frames.
+	k.FS.WriteFile(e.Inputs[1], attack.DoS("CVE-2017-14136"))
+	k.FS.WriteFile(e.Inputs[3],
+		attack.Corrupt("CVE-2017-12606", drone.SpeedRegion.Base, []byte{byte(0x100 - 30)}))
+
+	if err := drone.Fly(e, 8); err != nil {
+		fmt.Println("flight aborted:", err)
+	}
+	speed, serr := drone.Speed()
+	fmt.Printf("frames handled: %d / 8\n", drone.FramesHandled)
+	fmt.Printf("speed config:   %.2f (err %v)\n", speed, serr)
+	for i, c := range drone.Commands {
+		fmt.Printf("  t=%d %s\n", i, c)
+	}
+	host := hostOf(e, ex)
+	fmt.Printf("drone control process: %s\n", host.State())
+}
+
+func hostOf(e *apps.Env, ex core.Executor) *kernel.Process {
+	if e.Rt != nil {
+		return e.Rt.Host
+	}
+	return ex.(*core.Direct).Proc
+}

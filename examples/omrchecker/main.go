@@ -1,0 +1,141 @@
+// OMRChecker: the paper's motivating example (§3), end to end.
+//
+// A teacher grades student OMR sheets. A malicious student submits a
+// crafted image exploiting CVE-2017-12597 in cv.imread to corrupt the
+// template variable (the answer-mark coordinates), and a second crafted
+// image exploiting the imshow DoS to crash the grader. The demo runs the
+// attack twice — unprotected, then under FreePart — and shows the
+// difference.
+//
+//	go run ./examples/omrchecker
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"freepart.dev/freepart/internal/analysis"
+	"freepart.dev/freepart/internal/apps"
+	"freepart.dev/freepart/internal/attack"
+	"freepart.dev/freepart/internal/core"
+	"freepart.dev/freepart/internal/framework"
+	"freepart.dev/freepart/internal/framework/all"
+	"freepart.dev/freepart/internal/kernel"
+	"freepart.dev/freepart/internal/mem"
+)
+
+func main() {
+	app, _ := apps.ByID(8) // OMRChecker
+
+	fmt.Println("=== unprotected ===")
+	runScenario(app, false)
+	fmt.Println()
+	fmt.Println("=== FreePart ===")
+	runScenario(app, true)
+}
+
+func runScenario(app apps.App, protected bool) {
+	k := kernel.New()
+	reg := all.Registry()
+	var ex core.Executor
+	var rt *core.Runtime
+	if protected {
+		cat := analysis.New(reg, nil).Categorize()
+		var err error
+		rt, err = core.New(k, reg, cat, core.Default())
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer rt.Close()
+		ex = rt
+	} else {
+		ex = core.NewDirect(k, reg)
+	}
+	e := apps.NewEnv(k, ex, app)
+
+	// Grade two honest sheets first.
+	omr, scores, err := apps.OMRGradeAll(e, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("graded %d honest sheets, scores %v\n", len(scores), scores)
+
+	// Install the attack payload interpreter.
+	alog := &attack.Log{}
+	if rt != nil {
+		rt.OnExploit = alog.Handler()
+	} else {
+		ex.(*core.Direct).Ctx.OnExploit = alog.Handler()
+	}
+
+	// Attack 1: corrupt the template coordinates through imread (A).
+	evil := attack.Corrupt("CVE-2017-12597", omr.Template.Base, []byte{0, 0, 0, 0, 0, 0, 0, 0})
+	k.FS.WriteFile(e.Dir+"/malicious-submission.img", evil)
+	_, _, aerr := e.Call("cv.imread", framework.Str(e.Dir+"/malicious-submission.img"))
+	fmt.Printf("attack 1 (template corruption): exploit result %v\n", short(aerr))
+
+	var space = hostSpace(e, ex)
+	tmpl, _ := space.Load(omr.Template.Base, 4)
+	intact := tmpl[0] != 0 || tmpl[1] != 0
+	fmt.Printf("  template intact: %v\n", intact)
+
+	// Attack 2: crash the grader through imshow (B).
+	dos := attack.DoS("CVE-2019-15939")
+	id, _, err := e.Ex.(interface {
+		Call(string, ...framework.Value) ([]core.Handle, []framework.Value, error)
+	}).Call("cv.imread", framework.Str(e.Inputs[0]))
+	if err == nil && len(id) > 0 {
+		// Hand-craft a mat whose payload carries the imshow trigger.
+		k.FS.WriteFile(e.Dir+"/dos.img", dos)
+		_, _, derr := e.Call("cv.imshow", framework.Str("view"), trojanMat(e, dos))
+		fmt.Printf("attack 2 (imshow DoS): exploit result %v\n", short(derr))
+	}
+
+	// Can the teacher keep grading?
+	_, scores2, err2 := apps.OMRGradeAll(e, 1)
+	fmt.Printf("grading after the attacks: scores %v, err %v\n", scores2, short(err2))
+	host := hostProc(e, ex)
+	fmt.Printf("host process: %s\n", host.State())
+}
+
+// trojanMat builds a mat whose pixel payload embeds the DoS trigger.
+func trojanMat(e *apps.Env, trigger []byte) framework.Value {
+	rows := 1
+	cols := len(trigger)
+	var id uint64
+	var err error
+	if e.Rt != nil {
+		id, _, err = e.Rt.HostCtx().NewMatFromBytes(rows, cols, 1, trigger)
+	} else {
+		id, _, err = e.Ex.(*core.Direct).Ctx.NewMatFromBytes(rows, cols, 1, trigger)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	return framework.Obj(id)
+}
+
+func hostSpace(e *apps.Env, ex core.Executor) *mem.AddressSpace {
+	if e.Rt != nil {
+		return e.Rt.Host.Space()
+	}
+	return ex.(*core.Direct).Proc.Space()
+}
+
+func hostProc(e *apps.Env, ex core.Executor) *kernel.Process {
+	if e.Rt != nil {
+		return e.Rt.Host
+	}
+	return ex.(*core.Direct).Proc
+}
+
+func short(err error) string {
+	if err == nil {
+		return "ok"
+	}
+	s := err.Error()
+	if len(s) > 70 {
+		s = s[:70] + "..."
+	}
+	return s
+}

@@ -1,0 +1,123 @@
+// Detection server (§4.4.2, §5.3): a long-running service that detects
+// objects in images submitted by remote users. Servers prioritize
+// availability, so FreePart's restart supervisor revives crashed agents
+// and the service keeps answering.
+//
+// The demo submits requests from three users; user 2 is malicious (a DoS
+// exploit in the loading path). Unprotected, the service dies at request 2
+// and users 3+ get nothing. Under FreePart, request 2 fails alone, the
+// loading agent restarts, and every other user is served — and the
+// malicious request cannot read the earlier users' images (other users'
+// inputs are sensitive, §5.3).
+//
+//	go run ./examples/server
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"freepart.dev/freepart/internal/analysis"
+	"freepart.dev/freepart/internal/attack"
+	"freepart.dev/freepart/internal/core"
+	"freepart.dev/freepart/internal/framework"
+	"freepart.dev/freepart/internal/framework/all"
+	"freepart.dev/freepart/internal/framework/simcv"
+	"freepart.dev/freepart/internal/kernel"
+	"freepart.dev/freepart/internal/workload"
+)
+
+func main() {
+	fmt.Println("=== unprotected server ===")
+	serve(false)
+	fmt.Println()
+	fmt.Println("=== FreePart server ===")
+	serve(true)
+}
+
+// request is one user's submission.
+type request struct {
+	user int
+	body []byte
+}
+
+func serve(protected bool) {
+	k := kernel.New()
+	reg := all.Registry()
+	var ex core.Executor
+	var rt *core.Runtime
+	if protected {
+		cat := analysis.New(reg, nil).Categorize()
+		var err error
+		rt, err = core.New(k, reg, cat, core.Default())
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer rt.Close()
+		ex = rt
+	} else {
+		ex = core.NewDirect(k, reg)
+	}
+	alog := &attack.Log{}
+	if rt != nil {
+		rt.OnExploit = alog.Handler()
+	} else {
+		ex.(*core.Direct).Ctx.OnExploit = alog.Handler()
+	}
+
+	// The detection model.
+	k.FS.WriteFile("/srv/model.xml", simcv.EncodeClassifier(150, 4))
+	model, _, err := ex.Call("cv.CascadeClassifier", framework.Str("/srv/model.xml"))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Incoming requests: users 1, 3, 4 honest; user 2 malicious.
+	gen := workload.New(11)
+	reqs := []request{
+		{1, gen.EncodedImage(16, 16, 1)},
+		{2, attack.DoS("CVE-2017-14136")},
+		{3, gen.EncodedImage(16, 16, 1)},
+		{4, gen.EncodedImage(16, 16, 1)},
+	}
+
+	served := 0
+	for i, rq := range reqs {
+		path := fmt.Sprintf("/srv/req-%d.img", i)
+		k.FS.WriteFile(path, rq.body)
+		img, _, err := ex.Call("cv.imread", framework.Str(path))
+		if err != nil {
+			fmt.Printf("user %d: request failed (%s)\n", rq.user, short(err))
+			if rt != nil {
+				// The availability-first policy (§4.4.2): restart and go on.
+				if rerr := rt.RestartDead(); rerr != nil {
+					log.Fatal(rerr)
+				}
+			}
+			continue
+		}
+		_, plain, err := ex.Call("cv.CascadeClassifier.detectMultiScale", model[0].Value(), img[0].Value())
+		if err != nil {
+			fmt.Printf("user %d: detection failed (%s)\n", rq.user, short(err))
+			continue
+		}
+		fmt.Printf("user %d: %d objects detected\n", rq.user, plain[0].Int)
+		served++
+	}
+	fmt.Printf("served %d/%d users\n", served, len(reqs))
+	alive := true
+	if rt != nil {
+		alive = rt.Host.Alive()
+	} else {
+		alive = ex.(*core.Direct).Proc.Alive()
+	}
+	fmt.Printf("service process alive: %v\n", alive)
+}
+
+func short(err error) string {
+	s := err.Error()
+	if len(s) > 48 {
+		s = s[:48] + "..."
+	}
+	return s
+}

@@ -1,0 +1,3 @@
+module freepart.dev/freepart
+
+go 1.22

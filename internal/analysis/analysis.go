@@ -1,0 +1,248 @@
+// Package analysis implements FreePart's offline hybrid analyzer (§4.2):
+// it combines each API's statically visible data-flow operations with the
+// dynamic trace observations, applies the memory-copy-via-file reduction,
+// categorizes every API into the four types (plus type-neutral detection
+// from call-sequence context), derives the per-agent syscall allowlists
+// (§4.4.1), and identifies stateful APIs (§A.2.4).
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"freepart.dev/freepart/internal/framework"
+	"freepart.dev/freepart/internal/trace"
+)
+
+// Categorization is the analyzer's output for one registry.
+type Categorization struct {
+	// Types maps API name to its inferred type.
+	Types map[string]framework.APIType
+	// Neutral marks APIs detected as type-neutral (their home partition is
+	// decided at runtime by the calling context).
+	Neutral map[string]bool
+	// Reduced lists APIs where the memory-copy-via-file reduction fired.
+	Reduced []string
+}
+
+// TypeOf returns the inferred type, falling back to processing for unknown
+// APIs (the safe default: pure memory work).
+func (c *Categorization) TypeOf(api string) framework.APIType {
+	if t, ok := c.Types[api]; ok {
+		return t
+	}
+	return framework.TypeProcessing
+}
+
+// Analyzer runs the hybrid categorization over a registry.
+type Analyzer struct {
+	Registry *framework.Registry
+	// Recorder supplies dynamic observations; nil = static-only analysis.
+	Recorder *trace.Recorder
+}
+
+// New creates an analyzer.
+func New(reg *framework.Registry, rec *trace.Recorder) *Analyzer {
+	return &Analyzer{Registry: reg, Recorder: rec}
+}
+
+// opsFor merges static and dynamic operations for an API. APIs flagged
+// DynamicOnly contribute no static ops (their flows hide behind indirect
+// calls), which is exactly the gap the dynamic half closes.
+func (a *Analyzer) opsFor(api *framework.API) []framework.Op {
+	var ops []framework.Op
+	if !api.DynamicOnly {
+		ops = append(ops, api.StaticOps...)
+	}
+	if a.Recorder != nil {
+		for _, op := range a.Recorder.Ops(api.Name) {
+			dup := false
+			for _, o := range ops {
+				if o == op {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				ops = append(ops, op)
+			}
+		}
+	}
+	return ops
+}
+
+// reduceFileCopies applies the §4.2.1 reduction: when an API both writes
+// memory to a file and reads that file back into memory, the file is a
+// staging buffer, not true storage I/O — drop the FILE pair so the API's
+// remaining flows decide its type. Returns the reduced ops and whether the
+// reduction fired.
+func reduceFileCopies(ops []framework.Op) ([]framework.Op, bool) {
+	writesFile, readsFile := false, false
+	var other []framework.Op
+	for _, op := range ops {
+		switch {
+		case op.DstValid && op.Dst == framework.StorageFile && op.Src == framework.StorageMem:
+			writesFile = true
+		case op.DstValid && op.Dst == framework.StorageMem && op.Src == framework.StorageFile:
+			readsFile = true
+		default:
+			other = append(other, op)
+		}
+	}
+	if writesFile && readsFile {
+		// The staged round trip collapses to a memory-to-memory move.
+		return append(other, framework.WriteOp(framework.StorageMem, framework.StorageMem)), true
+	}
+	return ops, false
+}
+
+// classify applies the Fig. 9 pattern rules to a reduced op set.
+func classify(ops []framework.Op) framework.APIType {
+	var hasGUI, hasLoad, hasStore, hasMem bool
+	for _, op := range ops {
+		switch {
+		case !op.DstValid && op.Src == framework.StorageGUI:
+			hasGUI = true
+		case op.DstValid && op.Dst == framework.StorageGUI:
+			hasGUI = true
+		case op.DstValid && op.Dst == framework.StorageMem && op.Src == framework.StorageGUI:
+			hasGUI = true
+		case op.DstValid && op.Dst == framework.StorageMem && (op.Src == framework.StorageFile || op.Src == framework.StorageDev):
+			hasLoad = true
+		case op.DstValid && (op.Dst == framework.StorageFile || op.Dst == framework.StorageDev) && op.Src == framework.StorageMem:
+			hasStore = true
+		case op.DstValid && op.Dst == framework.StorageMem && op.Src == framework.StorageMem:
+			hasMem = true
+		}
+	}
+	switch {
+	case hasGUI:
+		return framework.TypeVisualizing
+	case hasLoad:
+		return framework.TypeLoading
+	case hasStore:
+		return framework.TypeStoring
+	case hasMem:
+		return framework.TypeProcessing
+	default:
+		// No observed flows at all: treat as processing (pure compute).
+		return framework.TypeProcessing
+	}
+}
+
+// Categorize runs classification over every API in the registry.
+func (a *Analyzer) Categorize() *Categorization {
+	out := &Categorization{
+		Types:   make(map[string]framework.APIType),
+		Neutral: make(map[string]bool),
+	}
+	for _, api := range a.Registry.All() {
+		ops := a.opsFor(api)
+		reduced, fired := reduceFileCopies(ops)
+		if fired {
+			out.Reduced = append(out.Reduced, api.Name)
+			// A staging file implies the API's real input is whatever else
+			// it read; if that was a device/network, it is a loader.
+			for _, op := range ops {
+				if op.DstValid && op.Dst == framework.StorageMem && op.Src == framework.StorageDev {
+					reduced = append(reduced, op)
+				}
+			}
+		}
+		out.Types[api.Name] = classify(reduced)
+	}
+	sort.Strings(out.Reduced)
+	return out
+}
+
+// Accuracy compares the categorization against the registry's ground
+// truth, returning the fraction correct and the mismatched API names.
+func (a *Analyzer) Accuracy(c *Categorization) (float64, []string) {
+	total, correct := 0, 0
+	var wrong []string
+	for _, api := range a.Registry.All() {
+		if api.TrueType == framework.TypeUnknown {
+			continue
+		}
+		total++
+		if c.TypeOf(api.Name) == api.TrueType {
+			correct++
+		} else {
+			wrong = append(wrong, fmt.Sprintf("%s: got %s want %s", api.Name, c.TypeOf(api.Name), api.TrueType))
+		}
+	}
+	if total == 0 {
+		return 1, nil
+	}
+	return float64(correct) / float64(total), wrong
+}
+
+// DetectNeutral marks memory-only APIs that appear adjacent to two or more
+// distinct API types in the observed call sequences (§4.2.2: "their types
+// are determined by the types of other APIs used together").
+func (a *Analyzer) DetectNeutral(c *Categorization, sequences [][]string) {
+	neighbors := make(map[string]map[framework.APIType]bool)
+	for _, seq := range sequences {
+		for i, name := range seq {
+			if c.TypeOf(name) != framework.TypeProcessing {
+				continue
+			}
+			add := func(j int) {
+				if j < 0 || j >= len(seq) || j == i {
+					return
+				}
+				t := c.TypeOf(seq[j])
+				if t == framework.TypeProcessing {
+					return
+				}
+				if neighbors[name] == nil {
+					neighbors[name] = make(map[framework.APIType]bool)
+				}
+				neighbors[name][t] = true
+			}
+			add(i - 1)
+			add(i + 1)
+		}
+	}
+	for name, types := range neighbors {
+		api, ok := a.Registry.Get(name)
+		if !ok {
+			continue
+		}
+		// A neutral API is pure memory-to-memory; anything touching files,
+		// devices, or the GUI has a fixed home.
+		pure := true
+		for _, op := range a.opsFor(api) {
+			if op.Src != framework.StorageMem || !op.DstValid || op.Dst != framework.StorageMem {
+				pure = false
+				break
+			}
+		}
+		if pure && len(types) >= 2 {
+			c.Neutral[name] = true
+		}
+	}
+}
+
+// StatefulReport lists stateful APIs and the subset whose state is shared
+// across calls/processes (§A.2.4, §A.6).
+type StatefulReport struct {
+	Stateful []string
+	Shared   []string
+}
+
+// Stateful derives the stateful-API report from the registry metadata —
+// the paper identifies these by analyzing which APIs write state reachable
+// by later calls; our frameworks declare the same property at definition.
+func (a *Analyzer) Stateful() StatefulReport {
+	var rep StatefulReport
+	for _, api := range a.Registry.All() {
+		if api.Stateful {
+			rep.Stateful = append(rep.Stateful, api.Name)
+			if api.SharedState {
+				rep.Shared = append(rep.Shared, api.Name)
+			}
+		}
+	}
+	return rep
+}

@@ -1,0 +1,185 @@
+// Package apps implements the evaluation applications: the OMRChecker
+// motivating example (§3), the 23 programs of Table 6, and the case-study
+// programs (autonomous drone §5.4.1, MComix3 viewer §5.4.2, StegoNet
+// victims §A.7). Every app is a real pipeline over the simulated
+// frameworks, written against core.Executor so the same code runs
+// unprotected (core.Direct), under FreePart (core.Runtime), and under the
+// baseline isolation techniques.
+package apps
+
+import (
+	"fmt"
+
+	"freepart.dev/freepart/internal/core"
+	"freepart.dev/freepart/internal/framework"
+	"freepart.dev/freepart/internal/kernel"
+	"freepart.dev/freepart/internal/workload"
+)
+
+// Env is the execution environment handed to an app run.
+type Env struct {
+	K  *kernel.Kernel
+	Ex core.Executor
+	// Gen generates this run's inputs (seeded per app for determinism).
+	Gen *workload.Gen
+	// Dir is the app's input/output directory in the simulated FS.
+	Dir string
+	// Inputs are the pre-provisioned input image paths.
+	Inputs []string
+	// Rt is set when Ex is the FreePart runtime, enabling critical-data
+	// registration; nil under Direct or baseline executors.
+	Rt *core.Runtime
+	// Scale is the input-size multiplier this environment was provisioned
+	// with; pipelines use it to grow their tensor workloads too.
+	Scale int
+
+	// Calls records every framework API invoked (Table 6 usage counts).
+	Calls []string
+}
+
+// Call invokes an API through the executor, recording the call.
+func (e *Env) Call(api string, args ...framework.Value) ([]core.Handle, []framework.Value, error) {
+	e.Calls = append(e.Calls, api)
+	return e.Ex.Call(api, args...)
+}
+
+// MustCall is Call that converts errors into the app's failure.
+func (e *Env) MustCall(api string, args ...framework.Value) ([]core.Handle, []framework.Value) {
+	h, p, err := e.Call(api, args...)
+	if err != nil {
+		panic(appError{fmt.Errorf("%s: %w", api, err)})
+	}
+	return h, p
+}
+
+// appError wraps pipeline failures for recovery in Run.
+type appError struct{ err error }
+
+// App is one evaluation application with its Table 6 metadata.
+type App struct {
+	ID        int
+	Name      string
+	Framework string // main framework
+	Lang      string
+	SLOC      int    // paper-reported source lines
+	Size      string // paper-reported size
+	Desc      string
+	// Inputs is the number of input images/frames per run.
+	Inputs int
+	// ImgRows/ImgCols size this app's inputs.
+	ImgRows, ImgCols int
+	// Pipeline executes one full run.
+	Pipeline func(e *Env) error
+}
+
+// Run provisions inputs and executes the app's pipeline, converting
+// pipeline panics (MustCall) into errors.
+func (a App) Run(e *Env) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if ae, ok := r.(appError); ok {
+				err = ae.err
+				return
+			}
+			panic(r)
+		}
+	}()
+	return a.Pipeline(e)
+}
+
+// NewEnv provisions a standard environment for the app: seeded generator,
+// input files, camera, and model files.
+func NewEnv(k *kernel.Kernel, ex core.Executor, a App) *Env {
+	return NewEnvScaled(k, ex, a, 1)
+}
+
+// NewEnvScaled provisions an environment with input images scaled by the
+// given factor. Overhead experiments (Fig. 13) use larger scales so the
+// workload is compute-dominated, matching the paper's 1.7 MB inputs;
+// functional tests use scale 1 for speed.
+func NewEnvScaled(k *kernel.Kernel, ex core.Executor, a App, scale int) *Env {
+	if scale < 1 {
+		scale = 1
+	}
+	gen := workload.New(int64(a.ID) * 7919)
+	dir := fmt.Sprintf("/apps/%02d", a.ID)
+	rows, cols := a.ImgRows, a.ImgCols
+	if rows == 0 {
+		rows, cols = 24, 24
+	}
+	rows, cols = rows*scale, cols*scale
+	inputs := gen.FilePlan(k, dir, a.Inputs, rows, cols, 1, 512*scale*scale)
+	cam, ok := k.Camera("/dev/camera0")
+	if !ok {
+		cam = kernel.NewCamera("/dev/camera0")
+		k.AddCamera(cam)
+	}
+	gen.VideoFrames(cam, a.Inputs, rows, cols, 1)
+	k.FS.WriteFile(dir+"/mnist/mnist.bin", gen.MNISTFile(8*scale*scale))
+	k.FS.WriteFile(dir+"/corpus.txt", gen.Text(128))
+	env := &Env{K: k, Ex: ex, Gen: gen, Dir: dir, Inputs: inputs, Scale: scale}
+	if rt, ok := ex.(*core.Runtime); ok {
+		env.Rt = rt
+	}
+	return env
+}
+
+// ByID returns the Table 6 app with the given id.
+func ByID(id int) (App, bool) {
+	for _, a := range All() {
+		if a.ID == id {
+			return a, true
+		}
+	}
+	return App{}, false
+}
+
+// loopFrames drives fn over every camera frame until the stream ends.
+func loopFrames(e *Env, fn func(frame core.Handle) error) error {
+	cap0, _ := e.MustCall("cv.VideoCapture", framework.Int64(0))
+	for {
+		out, plain := e.MustCall("cv.VideoCapture.read", cap0[0].Value())
+		if !plain[0].Bool {
+			return nil
+		}
+		if err := fn(out[0]); err != nil {
+			return err
+		}
+	}
+}
+
+// HostTensor allocates a tensor in the host program's own memory and
+// registers it with the host-side object table — application-created data
+// (normalization stats, initial weights) that framework calls consume by
+// deep copy (§4.3), the eager slice of Table 12.
+func (e *Env) HostTensor(vals []float64) (framework.Value, error) {
+	ctx := e.hostContext()
+	id, t, err := ctx.NewTensor(len(vals))
+	if err != nil {
+		return framework.Nil(), err
+	}
+	if err := t.SetValues(vals); err != nil {
+		return framework.Nil(), err
+	}
+	return framework.Obj(id), nil
+}
+
+// hostContext resolves the execution context of the host program process.
+func (e *Env) hostContext() *framework.Ctx {
+	if e.Rt != nil {
+		return e.Rt.HostCtx()
+	}
+	if d, ok := e.Ex.(*core.Direct); ok {
+		return d.Ctx
+	}
+	if h, ok := e.Ex.(interface{ HostContext() *framework.Ctx }); ok {
+		return h.HostContext()
+	}
+	panic("apps: executor exposes no host context")
+}
+
+// grayOfHandle converts a frame to grayscale.
+func grayOf(e *Env, img core.Handle) core.Handle {
+	h, _ := e.MustCall("cv.cvtColor", img.Value(), framework.Str("BGR2GRAY"))
+	return h[0]
+}

@@ -1,0 +1,383 @@
+package apps_test
+
+import (
+	"strings"
+	"testing"
+
+	"freepart.dev/freepart/internal/analysis"
+	"freepart.dev/freepart/internal/apps"
+	"freepart.dev/freepart/internal/attack"
+	"freepart.dev/freepart/internal/core"
+	"freepart.dev/freepart/internal/framework"
+	"freepart.dev/freepart/internal/framework/all"
+	"freepart.dev/freepart/internal/framework/simtorch"
+	"freepart.dev/freepart/internal/kernel"
+)
+
+// directEnv builds an unprotected environment for app a.
+func directEnv(t *testing.T, a apps.App) *apps.Env {
+	t.Helper()
+	k := kernel.New()
+	return apps.NewEnv(k, core.NewDirect(k, all.Registry()), a)
+}
+
+// protectedEnv builds a FreePart-protected environment for app a.
+func protectedEnv(t *testing.T, a apps.App) *apps.Env {
+	t.Helper()
+	k := kernel.New()
+	reg := all.Registry()
+	cat := analysis.New(reg, nil).Categorize()
+	rt, err := core.New(k, reg, cat, core.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	return apps.NewEnv(k, rt, a)
+}
+
+func TestAll23AppsRunDirect(t *testing.T) {
+	list := apps.All()
+	if len(list) != 23 {
+		t.Fatalf("%d apps, want 23", len(list))
+	}
+	for _, a := range list {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			e := directEnv(t, a)
+			if err := a.Run(e); err != nil {
+				t.Fatalf("%s failed: %v", a.Name, err)
+			}
+			if len(e.Calls) == 0 {
+				t.Fatal("app made no framework calls")
+			}
+		})
+	}
+}
+
+func TestAll23AppsRunProtected(t *testing.T) {
+	for _, a := range apps.All() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			e := protectedEnv(t, a)
+			if err := a.Run(e); err != nil {
+				t.Fatalf("%s failed under FreePart: %v", a.Name, err)
+			}
+			// No agent died and no false-positive denials occurred.
+			for _, p := range e.K.Processes() {
+				if !p.Alive() {
+					t.Errorf("process %s died: %s", p.Name(), p.ExitReason())
+				}
+				if len(p.Denials()) != 0 {
+					t.Errorf("false-positive syscall denial in %s: %v", p.Name(), p.Denials())
+				}
+			}
+		})
+	}
+}
+
+func TestAppsUsageShape(t *testing.T) {
+	// Every app's call profile follows Table 6's shape: processing
+	// dominates, loading present, most apps visualize or store.
+	reg := all.Registry()
+	cat := analysis.New(reg, nil).Categorize()
+	for _, a := range apps.All() {
+		e := directEnv(t, a)
+		if err := a.Run(e); err != nil {
+			t.Fatalf("%s: %v", a.Name, err)
+		}
+		usage := analysis.UsageByType(cat, e.Calls)
+		dl := usage[framework.TypeLoading]
+		dp := usage[framework.TypeProcessing]
+		if dl.Total == 0 {
+			t.Errorf("%s performs no loading", a.Name)
+		}
+		if dp.Total < dl.Total {
+			t.Errorf("%s: processing (%d) should dominate loading (%d)", a.Name, dp.Total, dl.Total)
+		}
+		st := usage[framework.TypeStoring]
+		viz := usage[framework.TypeVisualizing]
+		if st.Total == 0 && viz.Total == 0 {
+			t.Errorf("%s neither visualizes nor stores", a.Name)
+		}
+	}
+}
+
+func TestOMRGradingCorrectness(t *testing.T) {
+	a, _ := apps.ByID(8)
+	e := directEnv(t, a)
+	omr, scores, err := apps.OMRGradeAll(e, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != 4 {
+		t.Fatalf("scores = %v", scores)
+	}
+	// The grader recognizes each sheet's marks; a fully random sheet still
+	// yields a deterministic score, and CSV rows accumulate.
+	if len(omr.Results) != 4 {
+		t.Fatalf("results = %v", omr.Results)
+	}
+	csv, err := e.K.FS.ReadFile(e.Dir + "/results.csv")
+	if err != nil || len(strings.Split(strings.TrimSpace(string(csv)), "\n")) != 4 {
+		t.Fatalf("csv = %q, %v", csv, err)
+	}
+}
+
+func TestOMRGradingSameProtectedAndDirect(t *testing.T) {
+	a, _ := apps.ByID(8)
+	de := directEnv(t, a)
+	_, direct, err := apps.OMRGradeAll(de, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pe := protectedEnv(t, a)
+	_, protected, err := apps.OMRGradeAll(pe, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range direct {
+		if direct[i] != protected[i] {
+			t.Fatalf("scores diverge: %v vs %v", direct, protected)
+		}
+	}
+}
+
+func TestOMRAttackUnprotected(t *testing.T) {
+	// §3: without FreePart, the imread exploit corrupts the template.
+	a, _ := apps.ByID(8)
+	e := directEnv(t, a)
+	omr, _, err := apps.OMRGradeAll(e, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := &attack.Log{}
+	d := e.Ex.(*core.Direct)
+	d.Ctx.OnExploit = log.Handler()
+	// Malicious student submission targeting the template coordinates.
+	evil := attack.Corrupt("CVE-2017-12597", omr.Template.Base, []byte{0, 0, 0, 0, 0, 0, 0, 0})
+	e.K.FS.WriteFile(e.Dir+"/evil.img", evil)
+	space := d.Proc.Space()
+	before, _ := space.Load(omr.Template.Base, 8)
+	_, _, _ = e.Call("cv.imread", framework.Str(e.Dir+"/evil.img"))
+	after, _ := space.Load(omr.Template.Base, 8)
+	if string(before) == string(after) {
+		t.Fatal("unprotected template should be corrupted")
+	}
+	if !log.Last().Corrupted {
+		t.Fatalf("outcome = %+v", log.Last())
+	}
+}
+
+func TestOMRAttackProtected(t *testing.T) {
+	// With FreePart the same exploit fires inside the loading agent and
+	// cannot reach the host-resident template.
+	a, _ := apps.ByID(8)
+	e := protectedEnv(t, a)
+	omr, _, err := apps.OMRGradeAll(e, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := &attack.Log{}
+	e.Rt.OnExploit = log.Handler()
+	evil := attack.Corrupt("CVE-2017-12597", omr.Template.Base, []byte{9, 9, 9, 9})
+	e.K.FS.WriteFile(e.Dir+"/evil.img", evil)
+	hostSpace := e.Rt.Host.Space()
+	before, _ := hostSpace.Load(omr.Template.Base, 4)
+	_, _, _ = e.Call("cv.imread", framework.Str(e.Dir+"/evil.img"))
+	after, _ := hostSpace.Load(omr.Template.Base, 4)
+	if string(before) != string(after) {
+		t.Fatal("template must survive under FreePart")
+	}
+	if out := log.Last(); out == nil || !out.Fired {
+		t.Fatal("exploit should have fired (in the agent)")
+	} else if out.Corrupted && string(before) != string(after) {
+		t.Fatal("corruption must not reach the host")
+	}
+	if !e.Rt.Host.Alive() {
+		t.Fatal("host must survive")
+	}
+	// Grading continues after the agent restart.
+	if _, scores, err := apps.OMRGradeAll(e, 1); err != nil || len(scores) != 1 {
+		t.Fatalf("post-attack grading: %v %v", scores, err)
+	}
+}
+
+func TestDroneDoSUnprotectedVsProtected(t *testing.T) {
+	// §5.4.1: a DoS crafted frame crashes the whole unprotected drone but
+	// only the loading agent under FreePart.
+	drone := apps.DroneApp()
+
+	de := directEnv(t, drone)
+	dd, err := apps.NewDrone(de)
+	if err != nil {
+		t.Fatal(err)
+	}
+	de.K.FS.WriteFile(de.Inputs[0], attack.DoS("CVE-2017-14136"))
+	_ = dd.Fly(de, 4)
+	if de.Ex.(*core.Direct).Proc.Alive() {
+		t.Fatal("unprotected drone process should crash")
+	}
+
+	pe := protectedEnv(t, drone)
+	pd, err := apps.NewDrone(pe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pe.K.FS.WriteFile(pe.Inputs[0], attack.DoS("CVE-2017-14136"))
+	if err := pd.Fly(pe, 4); err != nil {
+		t.Fatal(err)
+	}
+	if !pe.Rt.Host.Alive() {
+		t.Fatal("drone must keep flying under FreePart")
+	}
+	// It hovered through the crashed frame, then handled the others after
+	// the loading agent restarted.
+	if pd.FramesHandled == 0 {
+		t.Fatal("drone should handle frames after the restart")
+	}
+	hovered := false
+	for _, c := range pd.Commands {
+		if c == "hover" {
+			hovered = true
+		}
+	}
+	if !hovered {
+		t.Fatal("the poisoned frame should have produced a hover")
+	}
+}
+
+func TestDroneSpeedCorruption(t *testing.T) {
+	// §5.4.1 data corruption: flip self.speed to -0.3.
+	drone := apps.DroneApp()
+
+	de := directEnv(t, drone)
+	dd, _ := apps.NewDrone(de)
+	dlog := &attack.Log{}
+	de.Ex.(*core.Direct).Ctx.OnExploit = dlog.Handler()
+	de.K.FS.WriteFile(de.Inputs[1], attack.Corrupt("CVE-2017-12606", dd.SpeedRegion.Base, []byte{byte(0x100 - 30)}))
+	_ = dd.Fly(de, 4)
+	speed, _ := dd.Speed()
+	if speed != -0.3 {
+		t.Fatalf("unprotected speed = %v, want -0.3", speed)
+	}
+
+	pe := protectedEnv(t, drone)
+	pd, _ := apps.NewDrone(pe)
+	plog := &attack.Log{}
+	pe.Rt.OnExploit = plog.Handler()
+	pe.K.FS.WriteFile(pe.Inputs[1], attack.Corrupt("CVE-2017-12606", pd.SpeedRegion.Base, []byte{byte(0x100 - 30)}))
+	if err := pd.Fly(pe, 4); err != nil {
+		t.Fatal(err)
+	}
+	speed, _ = pd.Speed()
+	if speed != 0.3 {
+		t.Fatalf("protected speed = %v, want 0.3", speed)
+	}
+}
+
+func TestViewerInfoLeak(t *testing.T) {
+	// §5.4.2: exfiltrate the recent-files list. Unprotected it leaks;
+	// under FreePart the loading agent can neither read the host list nor
+	// send on the network.
+	viewer := apps.ViewerApp()
+
+	de := directEnv(t, viewer)
+	dv, _ := apps.NewViewer(de)
+	for _, p := range de.Inputs[:2] {
+		if err := dv.Open(de, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	log := &attack.Log{}
+	de.Ex.(*core.Direct).Ctx.OnExploit = log.Handler()
+	de.K.FS.WriteFile(de.Dir+"/evil.img",
+		attack.Exfiltrate("CVE-2020-10378", dv.RecentRegion.Base, 16, "evil.example"))
+	_, _, _ = de.Call("cv.imread", framework.Str(de.Dir+"/evil.img"))
+	if len(de.K.Net.SentTo("evil.example")) == 0 {
+		t.Fatal("unprotected viewer should leak")
+	}
+
+	pe := protectedEnv(t, viewer)
+	pv, _ := apps.NewViewer(pe)
+	for _, p := range pe.Inputs[:2] {
+		if err := pv.Open(pe, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	plog := &attack.Log{}
+	pe.Rt.OnExploit = plog.Handler()
+	pe.K.FS.WriteFile(pe.Dir+"/evil.img",
+		attack.Exfiltrate("CVE-2020-10378", pv.RecentRegion.Base, 16, "evil.example"))
+	_, _, _ = pe.Call("cv.imread", framework.Str(pe.Dir+"/evil.img"))
+	if len(pe.K.Net.SentTo("evil.example")) != 0 {
+		t.Fatal("FreePart must block the leak")
+	}
+	if out := plog.Last(); out != nil && string(out.Leaked) == recentPrefix(pv) {
+		t.Fatal("the host recent list must not be readable from the agent")
+	}
+}
+
+// recentPrefix returns the first 16 bytes of the viewer's recent list.
+func recentPrefix(v *apps.Viewer) string {
+	s, _ := v.Recent()
+	if len(s) > 16 {
+		s = s[:16]
+	}
+	return s
+}
+
+func TestStegoNetForkBombBlocked(t *testing.T) {
+	// §A.7: the trojaned model's fork payload is contained by the
+	// processing agent's filter.
+	med := apps.CaseApp(103, "ct-analyzer", nil)
+
+	pe := protectedEnv(t, med)
+	m, err := apps.NewMedicalApp(pe, "patient: Jane Doe, 54, +1-555-0199")
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := &attack.Log{}
+	pe.Rt.OnExploit = log.Handler()
+	clean := simtorch.EncodeModel([][]float64{{1, 0}})
+	trojan := append(clean, attack.ForkBomb(simtorch.CVEStegoNet)...)
+	pe.K.FS.WriteFile(pe.Dir+"/trojan.pt", trojan)
+	err = m.Analyze(pe, pe.Inputs[0], pe.Dir+"/trojan.pt")
+	if err == nil {
+		t.Fatal("trojan forward should fail")
+	}
+	if log.Last() == nil || log.Last().Forked {
+		t.Fatalf("fork must be denied: %+v", log.Last())
+	}
+	// Patient record untouched and unread.
+	rec, rerr := pe.Rt.Host.Space().Load(m.PatientRegion.Base, 8)
+	if rerr != nil || string(rec) != "patient:" {
+		t.Fatalf("patient record = %q, %v", rec, rerr)
+	}
+	if !pe.Rt.Host.Alive() {
+		t.Fatal("host must survive the fork bomb")
+	}
+}
+
+func TestInvoiceAppRuns(t *testing.T) {
+	inv := apps.CaseApp(104, "invoice-ocr", nil)
+	pe := protectedEnv(t, inv)
+	a, err := apps.NewInvoiceApp(pe, "taxpayer: 123-45-6789, acct 98765")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Process(pe, pe.Inputs[0], pe.Dir+"/model.pt"); err != nil {
+		t.Fatal(err)
+	}
+	if a.Processed != 1 {
+		t.Fatal("invoice not processed")
+	}
+}
+
+func TestByID(t *testing.T) {
+	if a, ok := apps.ByID(8); !ok || a.Name != "OMRChecker" {
+		t.Fatalf("ByID(8) = %v, %v", a.Name, ok)
+	}
+	if _, ok := apps.ByID(99); ok {
+		t.Fatal("ByID(99) should fail")
+	}
+}

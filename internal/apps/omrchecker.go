@@ -1,0 +1,239 @@
+package apps
+
+import (
+	"fmt"
+	"strings"
+
+	"freepart.dev/freepart/internal/core"
+	"freepart.dev/freepart/internal/framework"
+	"freepart.dev/freepart/internal/kernel"
+	"freepart.dev/freepart/internal/mem"
+	"freepart.dev/freepart/internal/workload"
+)
+
+// OMR holds the motivating example's state (§3): the auto-grader with its
+// two critical variables — template (answer-mark coordinates) and the
+// master answer key — living in the host program's memory.
+type OMR struct {
+	Questions, Options, Cell int
+	// Template is the critical host-memory region holding the bubble
+	// coordinates (template.QBlocks.orig in the paper).
+	Template mem.Region
+	// Master is the teacher's answer key.
+	Master []int
+	// Results accumulates graded rows for the output .csv.
+	Results []string
+}
+
+// OMRCheckerApp builds the full motivating-example application. The host
+// space parameter is where the critical template lives (rt.Host.Space()
+// under FreePart, the monolith's space under Direct).
+func NewOMR(questions, options, cell int) *OMR {
+	return &OMR{Questions: questions, Options: options, Cell: cell}
+}
+
+// InitTemplate allocates and fills the template in the given space: one
+// (row, col) coordinate pair per question×option bubble, plus the master
+// key. Registers the region as critical when rt is non-nil.
+func (o *OMR) InitTemplate(space *mem.AddressSpace, rt *core.Runtime, master []int) error {
+	size := o.Questions * o.Options * 2
+	r, err := space.Alloc(size)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, size)
+	for q := 0; q < o.Questions; q++ {
+		for opt := 0; opt < o.Options; opt++ {
+			i := (q*o.Options + opt) * 2
+			buf[i] = byte(q*o.Cell + o.Cell/2)     // row center
+			buf[i+1] = byte(opt*o.Cell + o.Cell/2) // col center
+		}
+	}
+	if err := space.Store(r.Base, buf); err != nil {
+		return err
+	}
+	o.Template = r
+	o.Master = append([]int(nil), master...)
+	if rt != nil {
+		rt.RegisterCritical(r)
+	}
+	return nil
+}
+
+// ReadTemplate loads the bubble coordinate for (question, option).
+func (o *OMR) ReadTemplate(space *mem.AddressSpace, q, opt int) (row, col int, err error) {
+	i := (q*o.Options + opt) * 2
+	b, err := space.Load(o.Template.Base+mem.Addr(i), 2)
+	if err != nil {
+		return 0, 0, err
+	}
+	return int(b[0]), int(b[1]), nil
+}
+
+// GradeSheet processes one submission image through the framework pipeline
+// (imread → morphology → threshold → per-bubble sampling) and grades it
+// against the master key, appending a CSV row.
+func (o *OMR) GradeSheet(e *Env, space *mem.AddressSpace, path string) (score int, err error) {
+	imgs, _, err := e.Call("cv.imread", framework.Str(path))
+	if err != nil {
+		return 0, err
+	}
+	// Pre-processing chain (the paper's morphologyEx/erode steps).
+	morph, _ := e.MustCall("cv.morphologyEx", imgs[0].Value(), framework.Str("close"))
+	thr, _ := e.MustCall("cv.threshold", morph[0].Value(), framework.Int64(100))
+	// Sample every bubble center through the template coordinates.
+	answers := make([]int, o.Questions)
+	payload, err := e.Ex.Fetch(thr[0])
+	if err != nil {
+		return 0, err
+	}
+	cols := o.Options * o.Cell
+	for q := 0; q < o.Questions; q++ {
+		best, bestVal := -1, 0
+		for opt := 0; opt < o.Options; opt++ {
+			r, c, terr := o.ReadTemplate(space, q, opt)
+			if terr != nil {
+				return 0, terr
+			}
+			idx := r*cols + c
+			if idx < 0 || idx >= len(payload) {
+				continue
+			}
+			if int(payload[idx]) > bestVal {
+				best, bestVal = opt, int(payload[idx])
+			}
+		}
+		answers[q] = best
+	}
+	for q, a := range answers {
+		if a == o.Master[q] {
+			score++
+		}
+	}
+	row := make([]string, 0, o.Questions+1)
+	for _, a := range answers {
+		row = append(row, fmt.Sprintf("%c", 'A'+a))
+	}
+	row = append(row, fmt.Sprintf("%d", score))
+	o.Results = append(o.Results, strings.Join(row, ","))
+	return score, nil
+}
+
+// Annotate draws the recognized marks back onto a sheet (the hot-loop
+// cv.rectangle/cv.putText pair of Fig. 4) and shows/stores it.
+func (o *OMR) Annotate(e *Env, img core.Handle, score int) error {
+	canvas := img
+	for q := 0; q < o.Questions; q++ {
+		out, _ := e.MustCall("cv.rectangle", canvas.Value(),
+			framework.Int64(0), framework.Int64(int64(q*o.Cell)),
+			framework.Int64(int64(o.Cell)), framework.Int64(int64(o.Cell)))
+		canvas = out[0]
+		out, _ = e.MustCall("cv.putText", canvas.Value(), framework.Str(fmt.Sprintf("Q%d", q)),
+			framework.Int64(2), framework.Int64(int64(q*o.Cell+1)))
+		canvas = out[0]
+	}
+	if _, _, err := e.Call("cv.imshow", framework.Str("graded"), canvas.Value()); err != nil {
+		return err
+	}
+	_, _, err := e.Call("cv.imwrite", framework.Str(e.Dir+"/annotated.img"), canvas.Value())
+	return err
+}
+
+// WriteCSV stores the grading results (the program's final output).
+func (o *OMR) WriteCSV(k *kernel.Kernel, path string) {
+	k.FS.WriteFile(path, []byte(strings.Join(o.Results, "\n")+"\n"))
+}
+
+// omrPipeline is the Table 6 entry's pipeline: grade every input sheet,
+// annotate the last one, store the CSV.
+func omrPipeline(e *Env) error {
+	hostSpace := hostSpaceOf(e)
+	omr := NewOMR(8, 4, omrCell(e))
+	master := make([]int, omr.Questions)
+	for q := range master {
+		master[q] = q % omr.Options
+	}
+	if err := omr.InitTemplate(hostSpace, e.Rt, master); err != nil {
+		return err
+	}
+	// Replace the provisioned generic images with real OMR sheets.
+	for i := range e.Inputs {
+		enc, _ := e.Gen.EncodedOMRSheet(omr.Questions, omr.Options, omr.Cell)
+		e.K.FS.WriteFile(e.Inputs[i], enc)
+	}
+	var last core.Handle
+	lastScore := 0
+	for _, path := range e.Inputs {
+		score, err := omr.GradeSheet(e, hostSpace, path)
+		if err != nil {
+			return err
+		}
+		imgs, _ := e.MustCall("cv.imread", framework.Str(path))
+		last, lastScore = imgs[0], score
+	}
+	if err := omr.Annotate(e, last, lastScore); err != nil {
+		return err
+	}
+	omr.WriteCSV(e.K, e.Dir+"/results.csv")
+	return nil
+}
+
+// omrCell scales the bubble size with the environment, clamped so the
+// byte-encoded template coordinates stay within range.
+func omrCell(e *Env) int {
+	cell := 6 * e.Scale
+	if cell > 30 {
+		cell = 30 // 8 questions x 30 px stays under the 255 coordinate cap
+	}
+	if cell < 6 {
+		cell = 6
+	}
+	return cell
+}
+
+// hostSpaceOf picks the space where the app's own variables live.
+func hostSpaceOf(e *Env) *mem.AddressSpace {
+	if e.Rt != nil {
+		return e.Rt.Host.Space()
+	}
+	if d, ok := e.Ex.(*core.Direct); ok {
+		return d.Proc.Space()
+	}
+	if h, ok := e.Ex.(interface{ HostSpace() *mem.AddressSpace }); ok {
+		return h.HostSpace()
+	}
+	// Last resort: a dedicated space outside any process (still enforced).
+	return mem.NewSpace()
+}
+
+// OMRGradeAll is the exported motivating-example driver used by examples
+// and experiments: grades sheets and returns per-sheet scores plus the
+// grader state (for attack targeting).
+func OMRGradeAll(e *Env, sheets int) (*OMR, []int, error) {
+	hostSpace := hostSpaceOf(e)
+	omr := NewOMR(8, 4, omrCell(e))
+	master := make([]int, omr.Questions)
+	for q := range master {
+		master[q] = q % omr.Options
+	}
+	if err := omr.InitTemplate(hostSpace, e.Rt, master); err != nil {
+		return nil, nil, err
+	}
+	gen := workload.New(4242)
+	scores := make([]int, 0, sheets)
+	for i := 0; i < sheets; i++ {
+		path := fmt.Sprintf("%s/sheet-%02d.img", e.Dir, i)
+		enc, answers := gen.EncodedOMRSheet(omr.Questions, omr.Options, omr.Cell)
+		// Make the submission match the master on a known prefix so the
+		// expected score is computable.
+		_ = answers
+		e.K.FS.WriteFile(path, enc)
+		score, err := omr.GradeSheet(e, hostSpace, path)
+		if err != nil {
+			return omr, scores, err
+		}
+		scores = append(scores, score)
+	}
+	omr.WriteCSV(e.K, e.Dir+"/results.csv")
+	return omr, scores, nil
+}

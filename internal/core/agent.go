@@ -1,0 +1,342 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"freepart.dev/freepart/internal/analysis"
+	"freepart.dev/freepart/internal/framework"
+	"freepart.dev/freepart/internal/ipc"
+	"freepart.dev/freepart/internal/kernel"
+	"freepart.dev/freepart/internal/object"
+)
+
+// agent is one isolated partition: a process, its object table, an RPC
+// connection, the derived syscall policy, and restart bookkeeping.
+type agent struct {
+	id     int
+	name   string
+	types  map[framework.APIType]bool // API types homed here
+	policy *analysis.AgentPolicy      // nil when syscall restriction is off
+
+	mu    sync.Mutex
+	proc  *kernel.Process
+	ctx   *framework.Ctx
+	remap map[uint64]uint64 // pre-restart object id -> restored id
+	// deref caches lazily-copied remote objects: once an agent has pulled
+	// a remote object's payload (Fig. 11 step 4), later calls with the
+	// same (owner, id, content-hash) reference reuse the local copy
+	// instead of copying again. Mutations in the owner change the hash a
+	// fresh reply carries, so stale entries simply miss.
+	deref map[derefKey]uint64
+	// checkpoints holds serialized stateful objects keyed by their
+	// pre-crash table id (§A.2.4).
+	checkpoints map[uint64]checkpoint
+
+	conn *ipc.Conn
+}
+
+// checkpoint is a serialized object snapshot.
+type checkpoint struct {
+	kind    object.Kind
+	header  []byte
+	payload []byte
+}
+
+// derefKey identifies a remote object version in the deref cache.
+type derefKey struct {
+	pid  uint32
+	id   uint64
+	hash uint64
+}
+
+// context returns the agent's current execution context.
+func (a *agent) context() *framework.Ctx {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.ctx
+}
+
+// process returns the agent's current process.
+func (a *agent) process() *kernel.Process {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.proc
+}
+
+// resolveID maps an object id through the post-restart remap table.
+// Restored objects can reuse ids from the previous incarnation, so chains
+// may self-reference; a visited set guards against cycles.
+func (a *agent) resolveID(id uint64) uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	seen := map[uint64]bool{id: true}
+	for {
+		next, ok := a.remap[id]
+		if !ok || seen[next] {
+			return id
+		}
+		seen[next] = true
+		id = next
+	}
+}
+
+// serve is the agent's RPC loop body: decode a Call, run it in the agent
+// context, encode the Reply. Installed once per agent; survives restarts
+// because it reads the current ctx/proc through the agent's mutex.
+func (rt *Runtime) serve(a *agent) ipc.Handler {
+	return func(kind uint32, payload []byte) ([]byte, error) {
+		call, err := framework.DecodeCall(payload)
+		if err != nil {
+			return nil, err
+		}
+		api, ok := rt.Reg.Get(call.API)
+		if !ok {
+			return nil, fmt.Errorf("core: unknown API %s", call.API)
+		}
+		ctx := a.context()
+		args, err := rt.unmarshalArgs(a, ctx, call)
+		if err != nil {
+			return nil, err
+		}
+		results, err := api.Exec(ctx, args)
+		if err != nil {
+			if !a.process().Alive() {
+				// The API crashed its agent (exploit, DoS, fault).
+				return nil, fmt.Errorf("%w: %v", ipc.ErrAgentCrashed, err)
+			}
+			return nil, err
+		}
+		if rt.Config.CheckpointStateful && api.Stateful {
+			rt.checkpointObjects(a, ctx, args, results)
+		}
+		reply, err := rt.marshalReply(a, ctx, results)
+		if err != nil {
+			return nil, err
+		}
+		return framework.EncodeReply(reply)
+	}
+}
+
+// unmarshalArgs converts wire values into agent-local values, performing
+// eager rebuilds (payload attached) or lazy direct copies (ref only).
+func (rt *Runtime) unmarshalArgs(a *agent, ctx *framework.Ctx, call framework.Call) ([]framework.Value, error) {
+	args := make([]framework.Value, len(call.Args))
+	for i, v := range call.Args {
+		if v.Kind != framework.ValRef {
+			args[i] = v
+			continue
+		}
+		ref := v.Ref
+		// Payload shipped through the host (deep copy path).
+		if i < len(call.Payloads) && call.Payloads[i] != nil {
+			o, err := object.Rebuild(ctx.P.Space(), ref, call.Payloads[i])
+			if err != nil {
+				return nil, err
+			}
+			args[i] = framework.Obj(ctx.Table.Put(o))
+			continue
+		}
+		// Reference to an object this agent already owns.
+		if ref.PID == uint32(ctx.P.PID()) {
+			args[i] = framework.Obj(a.resolveID(ref.ID))
+			continue
+		}
+		// Lazy data copy: dereference now, copying directly from the
+		// owning agent's space (Fig. 11-(a), step 4) — unless this agent
+		// already holds this version of the object.
+		key := derefKey{pid: ref.PID, id: ref.ID, hash: ref.Hash}
+		a.mu.Lock()
+		localID, cached := a.deref[key]
+		a.mu.Unlock()
+		if cached {
+			if _, ok := ctx.Table.Get(localID); ok {
+				args[i] = framework.Obj(localID)
+				continue
+			}
+		}
+		payload, err := rt.loadRemote(ref)
+		if err != nil {
+			return nil, err
+		}
+		o, err := object.Rebuild(ctx.P.Space(), ref, payload)
+		if err != nil {
+			return nil, err
+		}
+		rt.Metrics.AddLazyCopy(len(payload))
+		rt.K.Clock.Advance(rt.K.Cost.DirectCopyCost(len(payload)))
+		id := ctx.Table.Put(o)
+		a.mu.Lock()
+		a.deref[key] = id
+		a.mu.Unlock()
+		args[i] = framework.Obj(id)
+	}
+	return args, nil
+}
+
+// loadRemote reads an object's payload out of its owning endpoint.
+func (rt *Runtime) loadRemote(ref object.Ref) ([]byte, error) {
+	ep, ok := rt.endpoint(ref.PID)
+	if !ok {
+		return nil, fmt.Errorf("core: no endpoint for pid %d", ref.PID)
+	}
+	id := ref.ID
+	if ep.agent != nil {
+		id = ep.agent.resolveID(id)
+	}
+	o, ok := ep.table().Get(id)
+	if !ok {
+		return nil, fmt.Errorf("core: dangling ref pid=%d id=%d", ref.PID, ref.ID)
+	}
+	return object.PayloadBytes(o)
+}
+
+// marshalReply converts agent-local results into wire values: refs under
+// LDC, payloads otherwise.
+func (rt *Runtime) marshalReply(a *agent, ctx *framework.Ctx, results []framework.Value) (framework.Reply, error) {
+	reply := framework.Reply{
+		Results:  make([]framework.Value, len(results)),
+		Payloads: make([][]byte, len(results)),
+	}
+	for i, v := range results {
+		if v.Kind != framework.ValObj {
+			reply.Results[i] = v
+			continue
+		}
+		ref, err := ctx.Table.RefFor(v.Obj)
+		if err != nil {
+			return framework.Reply{}, err
+		}
+		if rt.Config.LazyDataCopy {
+			reply.Results[i] = framework.RefVal(ref)
+			continue
+		}
+		o, _ := ctx.Table.Get(v.Obj)
+		payload, err := object.PayloadBytes(o)
+		if err != nil {
+			return framework.Reply{}, err
+		}
+		reply.Results[i] = framework.RefVal(ref)
+		reply.Payloads[i] = payload
+	}
+	return reply, nil
+}
+
+// checkpointObjects snapshots every object argument/result of a stateful
+// API call so a restart can restore them.
+func (rt *Runtime) checkpointObjects(a *agent, ctx *framework.Ctx, args, results []framework.Value) {
+	snap := func(v framework.Value) {
+		if v.Kind != framework.ValObj {
+			return
+		}
+		o, ok := ctx.Table.Get(v.Obj)
+		if !ok {
+			return
+		}
+		payload, err := object.PayloadBytes(o)
+		if err != nil {
+			return
+		}
+		a.mu.Lock()
+		a.checkpoints[v.Obj] = checkpoint{kind: o.Kind(), header: o.Header(), payload: payload}
+		a.mu.Unlock()
+		rt.Metrics.AddCheckpoint()
+		rt.K.Clock.Advance(rt.K.Cost.CheckpointCost(len(payload)))
+	}
+	for _, v := range args {
+		snap(v)
+	}
+	for _, v := range results {
+		snap(v)
+	}
+}
+
+// restartAgent revives a dead agent: fresh process state, re-applied
+// syscall policy, re-run one-time initialization, and checkpoint
+// restoration with id remapping so host-held refs stay valid.
+func (rt *Runtime) restartAgent(a *agent) error {
+	a.mu.Lock()
+	proc := a.proc
+	a.mu.Unlock()
+	if proc.Alive() {
+		return nil
+	}
+	rt.K.Restart(proc)
+	rt.Metrics.AddRestart()
+
+	newCtx := framework.NewCtx(rt.K, proc)
+	newCtx.OnExploit = rt.exploit
+	newCtx.Tracer = rt.Tracer
+
+	// Old objects are intentionally gone (§6); restore only checkpointed
+	// stateful state, remapping ids.
+	a.mu.Lock()
+	oldRemap := a.remap
+	cps := a.checkpoints
+	a.ctx = newCtx
+	a.remap = make(map[uint64]uint64)
+	a.checkpoints = make(map[uint64]checkpoint)
+	a.deref = make(map[derefKey]uint64)
+	a.mu.Unlock()
+
+	for oldID, cp := range cps {
+		o, err := object.Rebuild(proc.Space(), object.Ref{Kind: cp.kind, Header: cp.header}, cp.payload)
+		if err != nil {
+			continue
+		}
+		newID := newCtx.Table.Put(o)
+		a.mu.Lock()
+		a.remap[oldID] = newID
+		// Ids from even earlier incarnations chain through the old remap.
+		for ancient, prev := range oldRemap {
+			if prev == oldID {
+				a.remap[ancient] = newID
+			}
+		}
+		a.checkpoints[newID] = cp
+		a.mu.Unlock()
+	}
+
+	if err := rt.initAgent(a); err != nil {
+		return err
+	}
+	if a.policy != nil {
+		if err := a.policy.Apply(proc.Filter(), rt.Config.FilterAction); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// callAgent performs one RPC to the agent, handling crash + restart.
+func (rt *Runtime) callAgent(a *agent, call framework.Call) (framework.Reply, error) {
+	wire, err := framework.EncodeCall(call)
+	if err != nil {
+		return framework.Reply{}, err
+	}
+	out, err := a.conn.Call(0, wire)
+	rt.Metrics.AddIPC(payloadBytes(call))
+	if err != nil {
+		if errors.Is(err, ipc.ErrAgentCrashed) && rt.Config.Restart {
+			if rerr := rt.restartAgent(a); rerr != nil {
+				return framework.Reply{}, fmt.Errorf("core: restart failed: %w (after %v)", rerr, err)
+			}
+		}
+		return framework.Reply{}, err
+	}
+	reply, err := framework.DecodeReply(out)
+	if err != nil {
+		return framework.Reply{}, err
+	}
+	return reply, nil
+}
+
+// payloadBytes sums the eager payload bytes attached to a call.
+func payloadBytes(call framework.Call) int {
+	n := 0
+	for _, p := range call.Payloads {
+		n += len(p)
+	}
+	return n
+}

@@ -1,0 +1,112 @@
+// Package core implements the FreePart runtime (§4.3, §4.4): framework API
+// interposition, agent-process partitioning and RPC, lazy data copy,
+// temporal memory-permission enforcement, per-agent syscall lockdown, and
+// the agent restart supervisor.
+package core
+
+import (
+	"freepart.dev/freepart/internal/framework"
+	"freepart.dev/freepart/internal/kernel"
+	"freepart.dev/freepart/internal/object"
+)
+
+// Config selects the runtime's policies.
+type Config struct {
+	// LazyDataCopy enables the §4.3.2 optimization: objects move between
+	// agents by reference and are copied only when dereferenced. Disabled,
+	// every object payload ships through the host process (the -LDC
+	// ablation of §5.2).
+	LazyDataCopy bool
+	// Restart enables the §4.4.2 supervisor: crashed agents are revived
+	// with a fresh address space.
+	Restart bool
+	// CheckpointStateful periodically saves stateful-API objects so a
+	// restarted agent resumes with usable state (§A.2.4).
+	CheckpointStateful bool
+	// EnforcePermissions enables temporal read-only protection (§4.4.3).
+	EnforcePermissions bool
+	// RestrictSyscalls installs per-agent seccomp policies (§4.4.1).
+	RestrictSyscalls bool
+	// FilterAction is the seccomp violation action (default kill).
+	FilterAction kernel.FilterAction
+	// AppAPIs limits syscall-policy derivation to the APIs the target app
+	// actually uses (per-application lockdown, §4.1 study 2). Nil = all.
+	AppAPIs []string
+	// PartitionOf overrides agent assignment (Fig. 4 / §A.1.4 sweeps):
+	// given an API, return a partition id in [0, Partitions). Nil = the
+	// default four type-based partitions.
+	PartitionOf func(api *framework.API) int
+	// Partitions is the partition count when PartitionOf is set.
+	Partitions int
+}
+
+// Default returns the paper's standard configuration: four type-based
+// partitions with LDC, restart, checkpointing, temporal permissions, and
+// syscall lockdown all on.
+func Default() Config {
+	return Config{
+		LazyDataCopy:       true,
+		Restart:            true,
+		CheckpointStateful: true,
+		EnforcePermissions: true,
+		RestrictSyscalls:   true,
+		FilterAction:       kernel.ActionKill,
+	}
+}
+
+// Handle is the host program's reference to a data object produced by a
+// framework API. Under lazy data copy it names an object living in an
+// agent process (ref); without LDC (or after Fetch) it is materialized in
+// the host's own address space (local id).
+type Handle struct {
+	ref          object.Ref
+	local        uint64
+	materialized bool
+	size         int
+	kind         object.Kind
+}
+
+// Size returns the object's payload size in bytes.
+func (h Handle) Size() int { return h.size }
+
+// Kind returns the object kind.
+func (h Handle) Kind() object.Kind { return h.kind }
+
+// Materialized reports whether the object lives in the host space.
+func (h Handle) Materialized() bool { return h.materialized }
+
+// OwnerPID returns the owning agent's process id (0 when materialized).
+func (h Handle) OwnerPID() uint32 {
+	if h.materialized {
+		return 0
+	}
+	return h.ref.PID
+}
+
+// Value converts the handle into an API argument value.
+func (h Handle) Value() framework.Value {
+	if h.materialized {
+		return framework.Obj(h.local)
+	}
+	return framework.RefVal(h.ref)
+}
+
+// Executor abstracts the protected runtime and the unprotected Direct
+// runner so application pipelines (internal/apps) run unchanged on both.
+type Executor interface {
+	// Call invokes a framework API, returning object handles and plain
+	// (scalar) results.
+	Call(api string, args ...framework.Value) ([]Handle, []framework.Value, error)
+	// Fetch dereferences a handle's payload into the caller's hands.
+	Fetch(h Handle) ([]byte, error)
+}
+
+// BaselineHandle builds a handle carrying an executor-specific opaque id —
+// used by the baseline isolation techniques (internal/baseline), whose
+// object ownership model differs from the FreePart runtime's.
+func BaselineHandle(id uint64, size int) Handle {
+	return Handle{local: id, materialized: true, size: size}
+}
+
+// BaselineHandleID extracts the opaque id from a baseline handle.
+func BaselineHandleID(h Handle) uint64 { return h.local }

@@ -1,0 +1,587 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"freepart.dev/freepart/internal/analysis"
+	"freepart.dev/freepart/internal/framework"
+	"freepart.dev/freepart/internal/ipc"
+	"freepart.dev/freepart/internal/kernel"
+	"freepart.dev/freepart/internal/mem"
+	"freepart.dev/freepart/internal/metrics"
+	"freepart.dev/freepart/internal/object"
+)
+
+// endpoint locates the space and table behind a process id, for lazy
+// cross-agent copies.
+type endpoint struct {
+	space func() *mem.AddressSpace
+	table func() *object.Table
+	agent *agent
+}
+
+// definedObject tracks one object created during a framework state, for
+// temporal permission enforcement (§4.4.3).
+type definedObject struct {
+	space  *mem.AddressSpace
+	region mem.Region
+}
+
+// exemptKey identifies an object exempt from temporal protection: state
+// owned by a stateful API must stay writable across framework states
+// (§A.2.4 — the API mutates it on every call).
+type exemptKey struct {
+	space *mem.AddressSpace
+	base  mem.Addr
+}
+
+// Runtime is the FreePart loader + dynamic library: it owns the host
+// process, the agent processes, and every security policy.
+type Runtime struct {
+	K       *kernel.Kernel
+	Reg     *framework.Registry
+	Cat     *analysis.Categorization
+	Config  Config
+	Metrics *metrics.Counters
+	// Tracer is attached to every execution context when set.
+	Tracer framework.Tracer
+	// OnExploit overrides the exploit behaviour inside agents (the attack
+	// layer installs payload semantics here).
+	OnExploit framework.ExploitFunc
+
+	Host    *kernel.Process
+	hostCtx *framework.Ctx
+
+	mu        sync.Mutex
+	agents    map[int]*agent
+	endpoints map[uint32]*endpoint
+	state     framework.APIType
+	defined   map[framework.APIType][]definedObject
+	exempt    map[exemptKey]bool
+	analyzer  *analysis.Analyzer
+	policies  map[framework.APIType]*analysis.AgentPolicy
+}
+
+// agentPartition computes the default partition id of an API type.
+func agentPartition(t framework.APIType) int {
+	switch t {
+	case framework.TypeLoading:
+		return 0
+	case framework.TypeProcessing:
+		return 1
+	case framework.TypeVisualizing:
+		return 2
+	case framework.TypeStoring:
+		return 3
+	default:
+		return 1
+	}
+}
+
+// New builds a runtime: spawns the host and agent processes, wires RPC
+// connections, runs one-time agent initialization, and locks down
+// syscalls.
+func New(k *kernel.Kernel, reg *framework.Registry, cat *analysis.Categorization, cfg Config) (*Runtime, error) {
+	rt := &Runtime{
+		K: k, Reg: reg, Cat: cat, Config: cfg,
+		Metrics:   metrics.New(),
+		agents:    make(map[int]*agent),
+		endpoints: make(map[uint32]*endpoint),
+		state:     framework.TypeUnknown, // initialization state
+		defined:   make(map[framework.APIType][]definedObject),
+		exempt:    make(map[exemptKey]bool),
+		analyzer:  analysis.New(reg, nil),
+	}
+	rt.Host = k.Spawn("host")
+	rt.hostCtx = framework.NewCtx(k, rt.Host)
+	rt.endpoints[uint32(rt.Host.PID())] = &endpoint{
+		space: rt.Host.Space,
+		table: func() *object.Table { return rt.hostCtx.Table },
+	}
+
+	if cfg.RestrictSyscalls {
+		rt.policies = rt.analyzer.DeriveSyscallPolicy(cat, cfg.AppAPIs)
+	}
+
+	partitions := rt.partitionSet()
+	for id, types := range partitions {
+		if err := rt.spawnAgent(id, types); err != nil {
+			return nil, err
+		}
+	}
+	return rt, nil
+}
+
+// partitionSet computes partition id -> homed types. The default is the
+// paper's four type partitions; custom PartitionOf functions (Fig. 4)
+// produce K partitions whose type sets derive from the APIs they hold.
+func (rt *Runtime) partitionSet() map[int]map[framework.APIType]bool {
+	out := make(map[int]map[framework.APIType]bool)
+	if rt.Config.PartitionOf == nil {
+		for _, t := range framework.ConcreteTypes() {
+			out[agentPartition(t)] = map[framework.APIType]bool{t: true}
+		}
+		return out
+	}
+	for i := 0; i < rt.Config.Partitions; i++ {
+		out[i] = make(map[framework.APIType]bool)
+	}
+	for _, api := range rt.Reg.All() {
+		id := rt.Config.PartitionOf(api)
+		if _, ok := out[id]; !ok {
+			out[id] = make(map[framework.APIType]bool)
+		}
+		out[id][rt.Cat.TypeOf(api.Name)] = true
+	}
+	return out
+}
+
+// spawnAgent creates and initializes one partition.
+func (rt *Runtime) spawnAgent(id int, types map[framework.APIType]bool) error {
+	name := fmt.Sprintf("agent:%d", id)
+	if len(types) == 1 {
+		for t := range types {
+			name = "agent:" + t.Long()
+		}
+	}
+	proc := rt.K.Spawn(name)
+	ctx := framework.NewCtx(rt.K, proc)
+	ctx.OnExploit = rt.exploit
+	ctx.Tracer = rt.Tracer
+	a := &agent{
+		id: id, name: name, types: types,
+		proc: proc, ctx: ctx,
+		remap:       make(map[uint64]uint64),
+		checkpoints: make(map[uint64]checkpoint),
+		deref:       make(map[derefKey]uint64),
+		conn:        ipc.NewConn(64, rt.K.Clock, rt.K.Cost),
+	}
+	if rt.policies != nil {
+		// A partition homing several types gets the union policy.
+		merged := &analysis.AgentPolicy{FDLabels: make(map[kernel.Sysno][]string)}
+		for t := range types {
+			if p, ok := rt.policies[t]; ok {
+				merged.Allowed = append(merged.Allowed, p.Allowed...)
+				merged.InitOnly = append(merged.InitOnly, p.InitOnly...)
+				for call, labels := range p.FDLabels {
+					merged.FDLabels[call] = append(merged.FDLabels[call], labels...)
+				}
+			}
+		}
+		a.policy = merged
+	}
+	go a.conn.Serve(rt.serve(a))
+
+	rt.mu.Lock()
+	rt.agents[id] = a
+	rt.endpoints[uint32(proc.PID())] = &endpoint{
+		space: func() *mem.AddressSpace { return a.process().Space() },
+		table: func() *object.Table { return a.context().Table },
+		agent: a,
+	}
+	rt.mu.Unlock()
+
+	if err := rt.initAgent(a); err != nil {
+		return err
+	}
+	if a.policy != nil {
+		if err := a.policy.Apply(proc.Filter(), rt.Config.FilterAction); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// initAgent performs the one-time initialization syscalls that the
+// steady-state filter forbids (§4.4.1): the visualizing agent opens its
+// GUI socket before lockdown.
+func (rt *Runtime) initAgent(a *agent) error {
+	if a.types[framework.TypeVisualizing] {
+		return rt.K.GUIConnect(a.process())
+	}
+	return nil
+}
+
+// exploit is the default in-agent exploit behaviour when the attack layer
+// installs nothing: crash the hosting process.
+func (rt *Runtime) exploit(ctx *framework.Ctx, cve string, payload []byte) error {
+	if rt.OnExploit != nil {
+		return rt.OnExploit(ctx, cve, payload)
+	}
+	rt.K.Crash(ctx.P, fmt.Sprintf("%s exploited", cve))
+	return fmt.Errorf("%w: %s (agent crashed)", framework.ErrExploited, cve)
+}
+
+// endpoint looks up the endpoint for a pid.
+func (rt *Runtime) endpoint(pid uint32) (*endpoint, bool) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	ep, ok := rt.endpoints[pid]
+	return ep, ok
+}
+
+// agentFor picks the agent that homes an API, honoring type-neutral
+// context-following (§4.2.2) and custom partition functions.
+func (rt *Runtime) agentFor(api *framework.API) (*agent, error) {
+	if rt.Config.PartitionOf != nil {
+		id := rt.Config.PartitionOf(api)
+		rt.mu.Lock()
+		a, ok := rt.agents[id]
+		rt.mu.Unlock()
+		if !ok {
+			return nil, fmt.Errorf("core: no partition %d for %s", id, api.Name)
+		}
+		return a, nil
+	}
+	t := rt.Cat.TypeOf(api.Name)
+	if rt.Cat.Neutral[api.Name] || api.Neutral {
+		// Run neutral APIs wherever the pipeline currently is.
+		rt.mu.Lock()
+		cur := rt.state
+		rt.mu.Unlock()
+		if cur != framework.TypeUnknown {
+			t = cur
+		} else {
+			t = framework.TypeProcessing
+		}
+	}
+	rt.mu.Lock()
+	a, ok := rt.agents[agentPartition(t)]
+	rt.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("core: no agent for type %s", t)
+	}
+	return a, nil
+}
+
+// Agents returns the agent processes in partition order (for inspection).
+func (rt *Runtime) Agents() []*kernel.Process {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	out := make([]*kernel.Process, 0, len(rt.agents))
+	for i := 0; i < len(rt.agents)+8; i++ {
+		if a, ok := rt.agents[i]; ok {
+			out = append(out, a.process())
+		}
+	}
+	return out
+}
+
+// AgentForType returns the process currently homing the given API type.
+func (rt *Runtime) AgentForType(t framework.APIType) (*kernel.Process, bool) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	for _, a := range rt.agents {
+		if a.types[t] {
+			return a.process(), true
+		}
+	}
+	return nil, false
+}
+
+// State returns the current framework state (§4.4.3).
+func (rt *Runtime) State() framework.APIType {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.state
+}
+
+// HostCtx exposes the host execution context (application code runs here).
+func (rt *Runtime) HostCtx() *framework.Ctx { return rt.hostCtx }
+
+// Close shuts down all agent connections.
+func (rt *Runtime) Close() {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	for _, a := range rt.agents {
+		a.conn.Close()
+	}
+}
+
+// RegisterCritical records a host-space object for temporal protection:
+// it becomes read-only when the framework leaves the current state.
+func (rt *Runtime) RegisterCritical(r mem.Region) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.defined[rt.state] = append(rt.defined[rt.state], definedObject{space: rt.Host.Space(), region: r})
+}
+
+// transition enforces §4.4.3: on a state change, every object defined
+// during the previous state becomes read-only.
+func (rt *Runtime) transition(next framework.APIType) {
+	rt.mu.Lock()
+	if next == rt.state || next == framework.TypeUnknown {
+		rt.mu.Unlock()
+		return
+	}
+	prev := rt.state
+	rt.state = next
+	toProtect := rt.defined[prev]
+	rt.defined[prev] = nil
+	rt.mu.Unlock()
+
+	if !rt.Config.EnforcePermissions {
+		return
+	}
+	for _, d := range toProtect {
+		rt.mu.Lock()
+		skip := rt.exempt[exemptKey{d.space, d.region.Base}]
+		rt.mu.Unlock()
+		if skip {
+			continue
+		}
+		pages, err := d.space.ProtectRegion(d.region, mem.PermRead)
+		if err != nil {
+			continue // freed or remapped region: nothing to protect
+		}
+		rt.Metrics.AddPermFlip(pages)
+		rt.K.Clock.Advance(rt.K.Cost.MProtect)
+	}
+}
+
+// recordDefined registers result objects as defined in the current state.
+func (rt *Runtime) recordDefined(handles []Handle) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	for _, h := range handles {
+		ep, ok := rt.endpoints[h.ref.PID]
+		if !ok || h.materialized {
+			if h.materialized {
+				if o, found := rt.hostCtx.Table.Get(h.local); found {
+					rt.defined[rt.state] = append(rt.defined[rt.state], definedObject{space: o.Space(), region: o.Region()})
+				}
+			}
+			continue
+		}
+		id := h.ref.ID
+		if ep.agent != nil {
+			id = ep.agent.resolveID(id)
+		}
+		if o, found := ep.table().Get(id); found {
+			rt.defined[rt.state] = append(rt.defined[rt.state], definedObject{space: o.Space(), region: o.Region()})
+		}
+	}
+}
+
+// Call interposes one framework API invocation from the host program: it
+// routes to the owning agent over RPC, moves data per the LDC policy,
+// drives the temporal state machine, and returns handles to the results.
+func (rt *Runtime) Call(apiName string, args ...framework.Value) ([]Handle, []framework.Value, error) {
+	api, ok := rt.Reg.Get(apiName)
+	if !ok {
+		return nil, nil, fmt.Errorf("core: unknown API %s", apiName)
+	}
+	rt.Metrics.AddAPICall()
+
+	// State machine first: the call's type defines the new state, and the
+	// transition protects the previous state's objects before the agent
+	// touches anything (Fig. 3).
+	t := rt.Cat.TypeOf(apiName)
+	if !(rt.Cat.Neutral[apiName] || api.Neutral) {
+		rt.transition(t)
+	}
+
+	a, err := rt.agentFor(api)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Objects flowing through a stateful API are its internal state: the
+	// runtime keeps them writable across framework states (§A.2.4 — the
+	// API mutates them on every call), restoring write access if a prior
+	// transition already sealed them.
+	if api.Stateful {
+		for _, v := range args {
+			if v.Kind != framework.ValRef {
+				continue
+			}
+			space, region, ok := rt.Locate(Handle{ref: v.Ref})
+			if !ok {
+				continue
+			}
+			rt.mu.Lock()
+			rt.exempt[exemptKey{space, region.Base}] = true
+			rt.mu.Unlock()
+			if rt.Config.EnforcePermissions {
+				if perm, mapped := space.PermAt(region.Base); mapped && !perm.CanWrite() {
+					if _, perr := space.ProtectRegion(region, mem.PermRW); perr == nil {
+						rt.Metrics.AddPermFlip(0)
+						rt.K.Clock.Advance(rt.K.Cost.MProtect)
+					}
+				}
+			}
+		}
+	}
+
+	call, err := rt.marshalArgs(args)
+	if err != nil {
+		return nil, nil, err
+	}
+	call.API = apiName
+
+	reply, err := rt.callAgent(a, call)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	handles := make([]Handle, 0, len(reply.Results))
+	plain := make([]framework.Value, 0, len(reply.Results))
+	for i, v := range reply.Results {
+		if v.Kind != framework.ValRef {
+			plain = append(plain, v)
+			continue
+		}
+		h := Handle{ref: v.Ref, size: v.Ref.Size, kind: v.Ref.Kind}
+		if !rt.Config.LazyDataCopy {
+			// Materialize through the host process (Fig. 11-(b)).
+			payload := reply.Payloads[i]
+			o, err := object.Rebuild(rt.Host.Space(), v.Ref, payload)
+			if err != nil {
+				return nil, nil, err
+			}
+			rt.Metrics.AddEagerCopy(len(payload))
+			rt.K.Clock.Advance(rt.K.Cost.CopyCost(len(payload)))
+			h = Handle{local: rt.hostCtx.Table.Put(o), materialized: true, size: len(payload), kind: v.Ref.Kind}
+		}
+		handles = append(handles, h)
+	}
+	if api.Stateful {
+		for _, h := range handles {
+			if space, region, ok := rt.Locate(h); ok {
+				rt.mu.Lock()
+				rt.exempt[exemptKey{space, region.Base}] = true
+				rt.mu.Unlock()
+			}
+		}
+	}
+	rt.recordDefined(handles)
+	return handles, plain, nil
+}
+
+// marshalArgs converts host-side argument values into wire form: handle
+// refs pass as-is (LDC) and host-local objects ship as deep copies.
+func (rt *Runtime) marshalArgs(args []framework.Value) (framework.Call, error) {
+	call := framework.Call{
+		Args:     make([]framework.Value, len(args)),
+		Payloads: make([][]byte, len(args)),
+	}
+	for i, v := range args {
+		switch v.Kind {
+		case framework.ValObj:
+			// Host-owned object: deep-copy its payload across (§4.3).
+			o, ok := rt.hostCtx.Table.Get(v.Obj)
+			if !ok {
+				return framework.Call{}, fmt.Errorf("core: dangling host object %d", v.Obj)
+			}
+			ref, err := rt.hostCtx.Table.RefFor(v.Obj)
+			if err != nil {
+				return framework.Call{}, err
+			}
+			payload, err := object.PayloadBytes(o)
+			if err != nil {
+				return framework.Call{}, err
+			}
+			rt.Metrics.AddEagerCopy(len(payload))
+			call.Args[i] = framework.RefVal(ref)
+			call.Payloads[i] = payload
+		case framework.ValRef:
+			if rt.Config.LazyDataCopy {
+				call.Args[i] = v
+				continue
+			}
+			// Without LDC a ref should never escape; materialize defensively.
+			payload, err := rt.loadRemote(v.Ref)
+			if err != nil {
+				return framework.Call{}, err
+			}
+			rt.Metrics.AddEagerCopy(len(payload))
+			call.Args[i] = v
+			call.Payloads[i] = payload
+		default:
+			call.Args[i] = v
+		}
+	}
+	return call, nil
+}
+
+// Locate returns the address space and region behind a handle, for
+// inspection (tests, attack analysis). ok is false for dangling handles.
+func (rt *Runtime) Locate(h Handle) (*mem.AddressSpace, mem.Region, bool) {
+	if h.materialized {
+		o, ok := rt.hostCtx.Table.Get(h.local)
+		if !ok {
+			return nil, mem.Region{}, false
+		}
+		return o.Space(), o.Region(), true
+	}
+	ep, ok := rt.endpoint(h.ref.PID)
+	if !ok {
+		return nil, mem.Region{}, false
+	}
+	id := h.ref.ID
+	if ep.agent != nil {
+		id = ep.agent.resolveID(id)
+	}
+	o, ok := ep.table().Get(id)
+	if !ok {
+		return nil, mem.Region{}, false
+	}
+	return o.Space(), o.Region(), true
+}
+
+// RestartDead revives every crashed or killed agent under the restart
+// policy (the standalone supervisor of §4.4.2). It is also invoked
+// automatically when a call observes a crash.
+func (rt *Runtime) RestartDead() error {
+	rt.mu.Lock()
+	agents := make([]*agent, 0, len(rt.agents))
+	for _, a := range rt.agents {
+		agents = append(agents, a)
+	}
+	rt.mu.Unlock()
+	for _, a := range agents {
+		if !a.process().Alive() {
+			if err := rt.restartAgent(a); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Fetch materializes a handle's payload into the host address space and
+// returns the bytes — the host program dereferencing a result.
+func (rt *Runtime) Fetch(h Handle) ([]byte, error) {
+	if h.materialized {
+		o, ok := rt.hostCtx.Table.Get(h.local)
+		if !ok {
+			return nil, fmt.Errorf("core: dangling materialized handle %d", h.local)
+		}
+		return object.PayloadBytes(o)
+	}
+	payload, err := rt.loadRemote(h.ref)
+	if err != nil {
+		return nil, err
+	}
+	rt.Metrics.AddLazyCopy(len(payload))
+	rt.K.Clock.Advance(rt.K.Cost.DirectCopyCost(len(payload)))
+	return payload, nil
+}
+
+// SealObject applies intra-process PKU-style protection to an
+// agent-resident object (§7's complementary hardening, Hodor/ERIM-style):
+// the object's pages join the given protection key domain with stores
+// disabled, so even code running *inside* a compromised agent — payloads
+// included — faults when writing it. Reads stay allowed so the APIs keep
+// consuming the data.
+func (rt *Runtime) SealObject(h Handle, key mem.Key) error {
+	space, region, ok := rt.Locate(h)
+	if !ok {
+		return fmt.Errorf("core: cannot locate object to seal")
+	}
+	if err := space.SetKey(region, key); err != nil {
+		return err
+	}
+	return space.SetKeyAccess(key, true, false)
+}

@@ -1,0 +1,23 @@
+// Package all assembles the complete API registry across every supported
+// framework (simcv, simcaffe, simtorch, simflow) — the "frameworks used by
+// the host program" input of the FreePart workflow (Fig. 5).
+package all
+
+import (
+	"freepart.dev/freepart/internal/framework"
+	"freepart.dev/freepart/internal/framework/simcaffe"
+	"freepart.dev/freepart/internal/framework/simcv"
+	"freepart.dev/freepart/internal/framework/simflow"
+	"freepart.dev/freepart/internal/framework/simtorch"
+)
+
+// Registry returns a fresh merged registry of every framework's APIs.
+// Each call builds new API values so tests can mutate metadata safely.
+func Registry() *framework.Registry {
+	r := framework.NewRegistry()
+	r.Merge(simcv.Registry())
+	r.Merge(simcaffe.Registry())
+	r.Merge(simtorch.Registry())
+	r.Merge(simflow.Registry())
+	return r
+}

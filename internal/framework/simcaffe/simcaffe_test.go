@@ -1,0 +1,147 @@
+package simcaffe_test
+
+import (
+	"testing"
+
+	"freepart.dev/freepart/internal/framework"
+	"freepart.dev/freepart/internal/framework/simcaffe"
+	"freepart.dev/freepart/internal/kernel"
+)
+
+type env struct {
+	k   *kernel.Kernel
+	ctx *framework.Ctx
+	reg *framework.Registry
+}
+
+func newEnv(t *testing.T) *env {
+	t.Helper()
+	k := kernel.New()
+	return &env{k: k, ctx: framework.NewCtx(k, k.Spawn("test")), reg: simcaffe.Registry()}
+}
+
+func (e *env) call(t *testing.T, name string, args ...framework.Value) []framework.Value {
+	t.Helper()
+	out, err := e.reg.MustGet(name).Exec(e.ctx, args)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return out
+}
+
+func TestParsePrototxt(t *testing.T) {
+	names, sizes, err := simcaffe.ParsePrototxt("# net\nconv1 4\nfc 2\n")
+	if err != nil || len(names) != 2 || names[0] != "conv1" || sizes[1] != 2 {
+		t.Fatalf("parse = %v %v %v", names, sizes, err)
+	}
+	for _, bad := range []string{"", "layer", "layer abc", "layer -1"} {
+		if _, _, err := simcaffe.ParsePrototxt(bad); err == nil {
+			t.Errorf("ParsePrototxt(%q) should fail", bad)
+		}
+	}
+}
+
+func TestNetLifecycle(t *testing.T) {
+	e := newEnv(t)
+	e.k.FS.WriteFile("/net.prototxt", []byte("fc1 4\nfc2 2\n"))
+	proto := e.call(t, "caffe.ReadProtoFromTextFile", framework.Str("/net.prototxt"))[0]
+	weights := e.call(t, "caffe.Net", proto)[0]
+	wt, _ := e.ctx.Tensor(weights)
+	if wt.Len() != 6 {
+		t.Fatalf("net weights = %d", wt.Len())
+	}
+	v0, _ := wt.AtFlat(0)
+	v5, _ := wt.AtFlat(5)
+	if v0 != 0.1 || v5 != 0.2 {
+		t.Fatalf("layer init = %v ... %v", v0, v5)
+	}
+
+	iid, it, _ := e.ctx.NewTensor(2)
+	_ = it.SetValues([]float64{1, 2})
+	out := e.call(t, "caffe.Net.Forward", weights, framework.Obj(iid))
+	ot, _ := e.ctx.Tensor(out[0])
+	if ot.Len() != 3 {
+		t.Fatalf("forward outputs = %d", ot.Len())
+	}
+	grads := e.call(t, "caffe.Net.Backward", out[0])[0]
+	gt, _ := e.ctx.Tensor(grads)
+	g0, _ := gt.AtFlat(0)
+	o0, _ := ot.AtFlat(0)
+	if g0 != 2*o0 {
+		t.Fatalf("backward grad = %v for out %v", g0, o0)
+	}
+}
+
+func TestReadProtoBinaryAndCopyLayers(t *testing.T) {
+	e := newEnv(t)
+	// Trained weights: two float64s.
+	raw := make([]byte, 16)
+	raw[7] = 0 // zeros are valid floats
+	e.k.FS.WriteFile("/weights.caffemodel", raw)
+	blob := e.call(t, "caffe.ReadProtoFromBinaryFile", framework.Str("/weights.caffemodel"))[0]
+
+	wid, wt, _ := e.ctx.NewTensor(4)
+	_ = wt.SetValues([]float64{9, 9, 9, 9})
+	e.call(t, "caffe.Net.CopyTrainedLayersFrom", framework.Obj(wid), blob)
+	v0, _ := wt.AtFlat(0)
+	v3, _ := wt.AtFlat(3)
+	if v0 != 0 || v3 != 9 {
+		t.Fatalf("copy = %v ... %v (first 2 overwritten, rest kept)", v0, v3)
+	}
+}
+
+func TestSolverStep(t *testing.T) {
+	e := newEnv(t)
+	wid, wt, _ := e.ctx.NewTensor(2)
+	_ = wt.SetValues([]float64{1, 1})
+	gid, gt, _ := e.ctx.NewTensor(2)
+	_ = gt.SetValues([]float64{100, -100})
+	e.call(t, "caffe.SGDSolver.Step", framework.Obj(wid), framework.Obj(gid))
+	v0, _ := wt.AtFlat(0)
+	v1, _ := wt.AtFlat(1)
+	if v0 != 0 || v1 != 2 {
+		t.Fatalf("solver step = %v %v", v0, v1)
+	}
+}
+
+func TestBlobReshape(t *testing.T) {
+	e := newEnv(t)
+	id, tt, _ := e.ctx.NewTensor(6)
+	_ = tt.SetValues([]float64{1, 2, 3, 4, 5, 6})
+	out := e.call(t, "caffe.Blob.Reshape", framework.Obj(id), framework.Int64(3), framework.Int64(2))[0]
+	rt, _ := e.ctx.Tensor(out)
+	if sh := rt.Shape(); sh[0] != 3 || sh[1] != 2 {
+		t.Fatalf("reshape = %v", sh)
+	}
+	if _, err := e.reg.MustGet("caffe.Blob.Reshape").Exec(e.ctx,
+		[]framework.Value{framework.Obj(id), framework.Int64(4), framework.Int64(4)}); err == nil {
+		t.Fatal("bad reshape should fail")
+	}
+}
+
+func TestStoringAPIs(t *testing.T) {
+	e := newEnv(t)
+	id, tt, _ := e.ctx.NewTensor(2)
+	_ = tt.SetValues([]float64{1, 2})
+	for _, api := range []string{"caffe.WriteProtoToTextFile", "caffe.hdf5_save_string", "caffe.Solver.Snapshot"} {
+		path := "/" + api
+		e.call(t, api, framework.Obj(id), framework.Str(path))
+		if e.k.FS.Size(path) != 16 {
+			t.Errorf("%s wrote %d bytes", api, e.k.FS.Size(path))
+		}
+	}
+}
+
+func TestRegistryTypes(t *testing.T) {
+	counts := map[framework.APIType]int{}
+	for _, a := range simcaffe.Registry().All() {
+		counts[a.TrueType]++
+	}
+	if counts[framework.TypeLoading] != 2 || counts[framework.TypeStoring] != 3 {
+		t.Fatalf("type spread = %v", counts)
+	}
+	// Per Table 4, Caffe has no visualizing APIs.
+	if counts[framework.TypeVisualizing] != 0 {
+		t.Fatal("simcaffe should have no visualizing APIs")
+	}
+}

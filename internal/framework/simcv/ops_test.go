@@ -1,0 +1,573 @@
+package simcv_test
+
+import (
+	"testing"
+
+	"freepart.dev/freepart/internal/framework"
+	"freepart.dev/freepart/internal/object"
+)
+
+// checkerboard builds an 8x8 alternating pattern.
+func (e *env) checkerboard(t *testing.T) framework.Value {
+	t.Helper()
+	data := make([]byte, 64)
+	for r := 0; r < 8; r++ {
+		for c := 0; c < 8; c++ {
+			if (r+c)%2 == 0 {
+				data[r*8+c] = 255
+			}
+		}
+	}
+	id, _, err := e.ctx.NewMatFromBytes(8, 8, 1, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return framework.Obj(id)
+}
+
+func TestAdaptiveThreshold(t *testing.T) {
+	e := newEnv(t)
+	out := e.call(t, "cv.adaptiveThreshold", e.checkerboard(t))
+	m := e.matOf(t, out[0])
+	// On a checkerboard every bright pixel exceeds its local mean.
+	v, _ := m.At(0, 0, 0)
+	w, _ := m.At(0, 1, 0)
+	if v != 255 || w != 0 {
+		t.Fatalf("adaptive threshold = %d, %d", v, w)
+	}
+}
+
+func TestBitwiseAndOrXor(t *testing.T) {
+	e := newEnv(t)
+	a := e.grad(t)
+	notA := e.call(t, "cv.bitwise_not", a)[0]
+	// a AND ~a == 0; a OR ~a == 255; a XOR a == 0.
+	andB := e.bytesOf(t, e.call(t, "cv.bitwise_and", a, notA)[0])
+	orB := e.bytesOf(t, e.call(t, "cv.bitwise_or", a, notA)[0])
+	xorB := e.bytesOf(t, e.call(t, "cv.bitwise_xor", a, a)[0])
+	for i := range andB {
+		if andB[i] != 0 || orB[i] != 255 || xorB[i] != 0 {
+			t.Fatalf("bitwise identities broken at %d: %d %d %d", i, andB[i], orB[i], xorB[i])
+		}
+	}
+}
+
+func TestSubtractMinMaxCompare(t *testing.T) {
+	e := newEnv(t)
+	id1, m1, _ := e.ctx.NewMat(1, 2, 1)
+	_ = m1.Set(0, 0, 0, 50)
+	_ = m1.Set(0, 1, 0, 200)
+	id2, m2, _ := e.ctx.NewMat(1, 2, 1)
+	_ = m2.Set(0, 0, 0, 100)
+	_ = m2.Set(0, 1, 0, 100)
+	a, b := framework.Obj(id1), framework.Obj(id2)
+
+	sub := e.bytesOf(t, e.call(t, "cv.subtract", a, b)[0])
+	if sub[0] != 0 || sub[1] != 100 { // saturating at 0
+		t.Fatalf("subtract = %v", sub)
+	}
+	mn := e.bytesOf(t, e.call(t, "cv.min", a, b)[0])
+	mx := e.bytesOf(t, e.call(t, "cv.max", a, b)[0])
+	if mn[0] != 50 || mn[1] != 100 || mx[0] != 100 || mx[1] != 200 {
+		t.Fatalf("min/max = %v %v", mn, mx)
+	}
+	cmp := e.bytesOf(t, e.call(t, "cv.compare", a, b)[0])
+	if cmp[0] != 0 || cmp[1] != 255 {
+		t.Fatalf("compare = %v", cmp)
+	}
+}
+
+func TestAddWeightedAndMultiply(t *testing.T) {
+	e := newEnv(t)
+	id1, m1, _ := e.ctx.NewMat(1, 1, 1)
+	_ = m1.Set(0, 0, 0, 100)
+	id2, m2, _ := e.ctx.NewMat(1, 1, 1)
+	_ = m2.Set(0, 0, 0, 200)
+	out := e.bytesOf(t, e.call(t, "cv.addWeighted",
+		framework.Obj(id1), framework.Obj(id2),
+		framework.Float64(0.5), framework.Float64(0.25), framework.Float64(10))[0])
+	if out[0] != 110 { // 50 + 50 + 10
+		t.Fatalf("addWeighted = %d", out[0])
+	}
+	mul := e.bytesOf(t, e.call(t, "cv.multiply", framework.Obj(id1), framework.Float64(3))[0])
+	if mul[0] != 255 { // saturates
+		t.Fatalf("multiply = %d", mul[0])
+	}
+}
+
+func TestConvertScaleAbsAndLUT(t *testing.T) {
+	e := newEnv(t)
+	id, m, _ := e.ctx.NewMat(1, 2, 1)
+	_ = m.Set(0, 0, 0, 10)
+	_ = m.Set(0, 1, 0, 100)
+	out := e.bytesOf(t, e.call(t, "cv.convertScaleAbs", framework.Obj(id),
+		framework.Float64(2), framework.Float64(-50))[0])
+	if out[0] != 30 || out[1] != 150 { // |2*10-50|=30, |2*100-50|=150
+		t.Fatalf("convertScaleAbs = %v", out)
+	}
+	lut := e.bytesOf(t, e.call(t, "cv.LUT", framework.Obj(id), framework.Float64(2))[0])
+	if lut[1] <= 100 {
+		t.Fatalf("gamma-2 LUT should brighten midtones: %v", lut)
+	}
+}
+
+func TestInRangeSqrtPowSetTo(t *testing.T) {
+	e := newEnv(t)
+	in := e.grad(t)
+	mask := e.bytesOf(t, e.call(t, "cv.inRange", in, framework.Int64(100), framework.Int64(200))[0])
+	orig := e.bytesOf(t, in)
+	for i := range mask {
+		want := byte(0)
+		if orig[i] >= 100 && orig[i] <= 200 {
+			want = 255
+		}
+		if mask[i] != want {
+			t.Fatalf("inRange[%d] = %d for %d", i, mask[i], orig[i])
+		}
+	}
+	sq := e.bytesOf(t, e.call(t, "cv.sqrt", in)[0])
+	if sq[0] != 0 {
+		t.Fatalf("sqrt(0) = %d", sq[0])
+	}
+	pw := e.bytesOf(t, e.call(t, "cv.pow", in)[0])
+	if pw[63] != byte(int(orig[63])*int(orig[63])/255) {
+		t.Fatalf("pow = %d", pw[63])
+	}
+	st := e.bytesOf(t, e.call(t, "cv.setTo", in, framework.Int64(7))[0])
+	for _, v := range st {
+		if v != 7 {
+			t.Fatalf("setTo = %d", v)
+		}
+	}
+}
+
+func TestFilterFamilies(t *testing.T) {
+	e := newEnv(t)
+	in := e.checkerboard(t)
+	for _, api := range []string{
+		"cv.boxFilter", "cv.medianBlur", "cv.bilateralFilter", "cv.sepFilter2D",
+		"cv.Sobel", "cv.Scharr", "cv.Laplacian",
+	} {
+		out := e.call(t, api, in)
+		if e.matOf(t, out[0]).Size() != 64 {
+			t.Fatalf("%s wrong output size", api)
+		}
+	}
+	// Median on a checkerboard interior stays binary; box filter averages.
+	med := e.bytesOf(t, e.call(t, "cv.medianBlur", in)[0])
+	box := e.bytesOf(t, e.call(t, "cv.boxFilter", in)[0])
+	if med[3*8+3] != 255 && med[3*8+3] != 0 {
+		t.Fatalf("median should stay binary, got %d", med[3*8+3])
+	}
+	if box[3*8+3] == 0 || box[3*8+3] == 255 {
+		t.Fatalf("box filter should average, got %d", box[3*8+3])
+	}
+}
+
+func TestFilter2DWithKernel(t *testing.T) {
+	e := newEnv(t)
+	in := e.grad(t)
+	kid, kt, _ := e.ctx.NewTensor(3, 3)
+	_ = kt.SetValues([]float64{0, 0, 0, 0, 1, 0, 0, 0, 0}) // identity
+	out := e.bytesOf(t, e.call(t, "cv.filter2D", in, framework.Obj(kid))[0])
+	orig := e.bytesOf(t, in)
+	for i := range orig {
+		if out[i] != orig[i] {
+			t.Fatalf("identity filter2D changed pixel %d", i)
+		}
+	}
+	// Wrong kernel size fails.
+	bad, _, _ := e.ctx.NewTensor(4)
+	if _, err := e.reg.MustGet("cv.filter2D").Exec(e.ctx, []framework.Value{in, framework.Obj(bad)}); err == nil {
+		t.Fatal("non-3x3 kernel should fail")
+	}
+}
+
+func TestGetStructuringElement(t *testing.T) {
+	e := newEnv(t)
+	out := e.call(t, "cv.getStructuringElement", e.grad(t))
+	m := e.matOf(t, out[0])
+	if m.Rows() != 3 || m.Cols() != 3 {
+		t.Fatalf("element = %v", m)
+	}
+}
+
+func TestDistanceTransform(t *testing.T) {
+	e := newEnv(t)
+	// Single bright pixel: distance grows with manhattan distance.
+	data := make([]byte, 64)
+	data[0] = 255
+	id, _, _ := e.ctx.NewMatFromBytes(8, 8, 1, data)
+	out := e.bytesOf(t, e.call(t, "cv.distanceTransform", framework.Obj(id))[0])
+	if out[0] != 0 {
+		t.Fatalf("distance at the feature = %d", out[0])
+	}
+	if out[7] != 7 || out[63] != 14 {
+		t.Fatalf("chamfer distances = %d, %d", out[7], out[63])
+	}
+}
+
+func TestIntegralMonotone(t *testing.T) {
+	e := newEnv(t)
+	out := e.bytesOf(t, e.call(t, "cv.integral", e.grad(t))[0])
+	// Integral image is monotone along rows and columns.
+	for r := 0; r < 8; r++ {
+		for c := 1; c < 8; c++ {
+			if out[r*8+c] < out[r*8+c-1] {
+				t.Fatalf("integral not monotone at (%d,%d)", r, c)
+			}
+		}
+	}
+	if out[63] != 255 {
+		t.Fatalf("normalized integral corner = %d", out[63])
+	}
+}
+
+func TestGeometryFamilies(t *testing.T) {
+	e := newEnv(t)
+	in := e.grad(t)
+	border := e.matOf(t, e.call(t, "cv.copyMakeBorder", in, framework.Int64(2))[0])
+	if border.Rows() != 12 || border.Cols() != 12 {
+		t.Fatalf("border shape = %v", border)
+	}
+	und := e.matOf(t, e.call(t, "cv.undistort", in)[0])
+	if und.Size() != 64 {
+		t.Fatal("undistort wrong size")
+	}
+	// remap with a zero flow is the identity.
+	fid, ft, _ := e.ctx.NewTensor(8, 8, 2)
+	_ = ft.SetValues(make([]float64, 128))
+	re := e.bytesOf(t, e.call(t, "cv.remap", in, framework.Obj(fid))[0])
+	orig := e.bytesOf(t, in)
+	for i := range orig {
+		if re[i] != orig[i] {
+			t.Fatal("zero-flow remap should be identity")
+		}
+	}
+	// Mismatched flow shape fails.
+	bad, bt, _ := e.ctx.NewTensor(4, 4, 2)
+	_ = bt.SetValues(make([]float64, 32))
+	if _, err := e.reg.MustGet("cv.remap").Exec(e.ctx, []framework.Value{in, framework.Obj(bad)}); err == nil {
+		t.Fatal("mismatched remap flow should fail")
+	}
+}
+
+func TestPerspectiveTransformComposition(t *testing.T) {
+	e := newEnv(t)
+	mk := func(vals []float64) framework.Value {
+		id, tt, _ := e.ctx.NewTensor(len(vals))
+		_ = tt.SetValues(vals)
+		return framework.Obj(id)
+	}
+	src := mk([]float64{0, 0, 8, 0, 8, 8, 0, 8})
+	dst := mk([]float64{1, 1, 9, 1, 9, 9, 1, 9})
+	h := e.call(t, "cv.getPerspectiveTransform", src, dst)[0]
+	ht, _ := e.ctx.Tensor(h)
+	if sh := ht.Shape(); sh[0] != 3 || sh[1] != 3 {
+		t.Fatalf("homography shape = %v", sh)
+	}
+	// Applying it to an image works.
+	out := e.call(t, "cv.warpPerspective", e.grad(t), h)
+	if e.matOf(t, out[0]).Size() != 64 {
+		t.Fatal("warp wrong size")
+	}
+	if _, err := e.reg.MustGet("cv.getAffineTransform").Exec(e.ctx,
+		[]framework.Value{mk([]float64{1}), mk([]float64{2})}); err == nil {
+		t.Fatal("too-short quads should fail")
+	}
+}
+
+func TestAnalysisFamilies(t *testing.T) {
+	e := newEnv(t)
+	in := e.checkerboard(t)
+	// HoughLines on a full-row stripe.
+	data := make([]byte, 64)
+	for c := 0; c < 8; c++ {
+		data[3*8+c] = 255
+	}
+	sid, _, _ := e.ctx.NewMatFromBytes(8, 8, 1, data)
+	lines := e.call(t, "cv.HoughLines", framework.Obj(sid))[0]
+	lt, _ := e.ctx.Tensor(lines)
+	orient, _ := lt.At(0, 0)
+	idx, _ := lt.At(0, 1)
+	if orient != 0 || idx != 3 {
+		t.Fatalf("hough line = (%v, %v), want horizontal at row 3", orient, idx)
+	}
+
+	// connectedComponents on the stripe: one component + background.
+	res := e.call(t, "cv.connectedComponents", framework.Obj(sid))
+	if res[0].Int != 2 {
+		t.Fatalf("components = %d, want 2 (bg + stripe)", res[0].Int)
+	}
+
+	// moments of the stripe: centroid row = 3.
+	mm := e.call(t, "cv.moments", framework.Obj(sid))[0]
+	mt, _ := e.ctx.Tensor(mm)
+	m00, _ := mt.AtFlat(0)
+	m01, _ := mt.AtFlat(2)
+	if m00 == 0 || m01/m00 != 3 {
+		t.Fatalf("centroid row = %v", m01/m00)
+	}
+
+	// reduce: row sums.
+	rs := e.call(t, "cv.reduce", framework.Obj(sid))[0]
+	rt, _ := e.ctx.Tensor(rs)
+	row3, _ := rt.AtFlat(3)
+	row0, _ := rt.AtFlat(0)
+	if row3 != 8*255 || row0 != 0 {
+		t.Fatalf("reduce = %v, %v", row3, row0)
+	}
+
+	// norm is the Euclidean magnitude.
+	if n := e.call(t, "cv.norm", framework.Obj(sid))[0].Float; n <= 0 {
+		t.Fatalf("norm = %v", n)
+	}
+
+	// cornerHarris responds to gradients (the checkerboard's period-2
+	// pattern cancels under central differences, so use the ramp).
+	ch := e.bytesOf(t, e.call(t, "cv.cornerHarris", e.grad(t))[0])
+	any := false
+	for _, v := range ch {
+		if v > 0 {
+			any = true
+		}
+	}
+	if !any {
+		t.Fatal("harris found no response on a gradient")
+	}
+
+	// goodFeaturesToTrack returns coordinates inside the image.
+	gf := e.call(t, "cv.goodFeaturesToTrack", in)[0]
+	gt, _ := e.ctx.Tensor(gf)
+	x, _ := gt.At(0, 0)
+	y, _ := gt.At(0, 1)
+	if x < 0 || x > 7 || y < 0 || y > 7 {
+		t.Fatalf("feature at (%v,%v)", x, y)
+	}
+}
+
+func TestHoughCirclesFindsDisc(t *testing.T) {
+	e := newEnv(t)
+	data := make([]byte, 256)
+	// 6x6 filled square at (5,5): round-ish enough for the detector.
+	for r := 5; r < 11; r++ {
+		for c := 5; c < 11; c++ {
+			data[r*16+c] = 255
+		}
+	}
+	id, _, _ := e.ctx.NewMatFromBytes(16, 16, 1, data)
+	out := e.call(t, "cv.HoughCircles", framework.Obj(id))[0]
+	ct, _ := e.ctx.Tensor(out)
+	cx, _ := ct.At(0, 0)
+	cy, _ := ct.At(0, 1)
+	if cx != 8 || cy != 8 {
+		t.Fatalf("circle centre = (%v,%v), want (8,8)", cx, cy)
+	}
+}
+
+func TestOpticalFlowAndPhaseCorrelate(t *testing.T) {
+	e := newEnv(t)
+	a := e.grad(t)
+	b := e.grad(t)
+	flow := e.bytesOf(t, e.call(t, "cv.calcOpticalFlowFarneback", a, b)[0])
+	for _, v := range flow {
+		if v != 0 {
+			t.Fatal("identical frames should have zero flow")
+		}
+	}
+	pc := e.bytesOf(t, e.call(t, "cv.phaseCorrelate", a, b)[0])
+	if pc[0] != 128 || pc[1] != 128 { // (0+128, 0+128)
+		t.Fatalf("phase correlate shift = %v", pc)
+	}
+}
+
+func TestMatchShapes(t *testing.T) {
+	e := newEnv(t)
+	a := e.checkerboard(t)
+	same := e.bytesOf(t, e.call(t, "cv.matchShapes", a, a)[0])
+	if same[0] < 250 {
+		t.Fatalf("self similarity = %d", same[0])
+	}
+	blank, _, _ := e.ctx.NewMat(8, 8, 1)
+	diff := e.bytesOf(t, e.call(t, "cv.matchShapes", a, framework.Obj(blank))[0])
+	if diff[0] >= same[0] {
+		t.Fatalf("different shapes (%d) should score below identical (%d)", diff[0], same[0])
+	}
+}
+
+func TestDrawingFamilies(t *testing.T) {
+	e := newEnv(t)
+	blankOf := func() (framework.Value, *object.Mat) {
+		id, m, _ := e.ctx.NewMat(8, 8, 1)
+		return framework.Obj(id), m
+	}
+	// line: endpoints are set.
+	lv, lm := blankOf()
+	e.call(t, "cv.line", lv, framework.Int64(0), framework.Int64(0), framework.Int64(7), framework.Int64(7))
+	if v, _ := lm.At(0, 0, 0); v != 255 {
+		t.Fatal("line start unset")
+	}
+	if v, _ := lm.At(7, 7, 0); v != 255 {
+		t.Fatal("line end unset")
+	}
+	// circle: centre stays clear, perimeter set.
+	cv2, cm := blankOf()
+	e.call(t, "cv.circle", cv2, framework.Int64(4), framework.Int64(4), framework.Int64(3))
+	if v, _ := cm.At(4, 4, 0); v != 0 {
+		t.Fatal("circle centre should stay clear")
+	}
+	if v, _ := cm.At(4, 7, 0); v != 255 {
+		t.Fatal("circle perimeter unset")
+	}
+	// fillPoly fills the region.
+	fv, fm := blankOf()
+	e.call(t, "cv.fillPoly", fv, framework.Int64(1), framework.Int64(1), framework.Int64(3), framework.Int64(3))
+	if v, _ := fm.At(2, 2, 0); v != 255 {
+		t.Fatal("fillPoly interior unset")
+	}
+	// arrowedLine, ellipse, polylines, drawMarker run and mark pixels.
+	for _, api := range []string{"cv.arrowedLine", "cv.ellipse", "cv.polylines", "cv.drawMarker"} {
+		dv, dm := blankOf()
+		e.call(t, api, dv)
+		data, _ := object.PayloadBytes(dm)
+		marked := false
+		for _, px := range data {
+			if px != 0 {
+				marked = true
+			}
+		}
+		if !marked {
+			t.Fatalf("%s drew nothing", api)
+		}
+	}
+	// ellipse rejects degenerate axes.
+	ev, _ := blankOf()
+	if _, err := e.reg.MustGet("cv.ellipse").Exec(e.ctx, []framework.Value{ev,
+		framework.Int64(4), framework.Int64(4), framework.Int64(0), framework.Int64(2)}); err == nil {
+		t.Fatal("zero-axis ellipse should fail")
+	}
+}
+
+func TestDrawContoursOutlinesBoxes(t *testing.T) {
+	e := newEnv(t)
+	cid, ct, _ := e.ctx.NewTensor(1, 5)
+	_ = ct.SetValues([]float64{2, 2, 5, 5, 9})
+	id, m, _ := e.ctx.NewMat(8, 8, 1)
+	e.call(t, "cv.drawContours", framework.Obj(id), framework.Obj(cid))
+	if v, _ := m.At(2, 2, 0); v != 255 {
+		t.Fatal("contour corner unset")
+	}
+	if v, _ := m.At(3, 3, 0); v != 0 {
+		t.Fatal("contour interior should stay clear")
+	}
+	// Malformed contour tensor fails.
+	bad, _, _ := e.ctx.NewTensor(3)
+	if _, err := e.reg.MustGet("cv.drawContours").Exec(e.ctx,
+		[]framework.Value{framework.Obj(id), framework.Obj(bad)}); err == nil {
+		t.Fatal("1-D contour tensor should fail")
+	}
+}
+
+func TestORBAndBFMatcher(t *testing.T) {
+	e := newEnv(t)
+	in := e.checkerboard(t)
+	kps := e.call(t, "cv.ORB.detect", in)[0]
+	kt, _ := e.ctx.Tensor(kps)
+	if kt.Shape()[0] < 1 {
+		t.Fatal("ORB found no keypoints on a checkerboard")
+	}
+	hog := e.call(t, "cv.HOGDescriptor.compute", in)[0]
+	matches := e.call(t, "cv.BFMatcher.match", hog, hog)[0]
+	mt, _ := e.ctx.Tensor(matches)
+	// Self-matching: every descriptor's nearest neighbour distance is 0.
+	d, _ := mt.At(0, 1)
+	if d != 0 {
+		t.Fatalf("self-match distance = %v", d)
+	}
+	// Mismatched descriptor widths fail.
+	bad, _, _ := e.ctx.NewTensor(2, 3)
+	if _, err := e.reg.MustGet("cv.BFMatcher.match").Exec(e.ctx,
+		[]framework.Value{hog, framework.Obj(bad)}); err == nil {
+		t.Fatal("mismatched descriptor width should fail")
+	}
+}
+
+func TestCopyToNeutral(t *testing.T) {
+	e := newEnv(t)
+	in := e.grad(t)
+	cp := e.call(t, "cv.copyTo", in)[0]
+	if string(e.bytesOf(t, cp)) != string(e.bytesOf(t, in)) {
+		t.Fatal("copyTo should duplicate")
+	}
+	if api, _ := e.reg.Get("cv.copyTo"); !api.Neutral {
+		t.Fatal("copyTo should be type-neutral")
+	}
+}
+
+func TestMergeErrors(t *testing.T) {
+	e := newEnv(t)
+	multi, _, _ := e.ctx.NewMat(2, 2, 3)
+	if _, err := e.reg.MustGet("cv.merge").Exec(e.ctx, []framework.Value{framework.Obj(multi)}); err == nil {
+		t.Fatal("multichannel plane should fail merge")
+	}
+	a, _, _ := e.ctx.NewMat(2, 2, 1)
+	b, _, _ := e.ctx.NewMat(4, 4, 1)
+	if _, err := e.reg.MustGet("cv.merge").Exec(e.ctx, []framework.Value{framework.Obj(a), framework.Obj(b)}); err == nil {
+		t.Fatal("shape-mismatched merge should fail")
+	}
+}
+
+func TestMatchTemplateTooBig(t *testing.T) {
+	e := newEnv(t)
+	small, _, _ := e.ctx.NewMat(2, 2, 1)
+	big, _, _ := e.ctx.NewMat(8, 8, 1)
+	if _, err := e.reg.MustGet("cv.matchTemplate").Exec(e.ctx,
+		[]framework.Value{framework.Obj(small), framework.Obj(big)}); err == nil {
+		t.Fatal("template larger than image should fail")
+	}
+}
+
+func TestGUIRecentAndMouseWheel(t *testing.T) {
+	e := newEnv(t)
+	e.call(t, "cv.imshow", framework.Str("a.png"), e.grad(t))
+	e.call(t, "cv.imshow", framework.Str("b.png"), e.grad(t))
+	out := e.call(t, "cv.getRecentWindows")
+	if out[0].Str == "" {
+		t.Fatal("recent windows empty")
+	}
+	if d := e.call(t, "cv.getMouseWheelDelta")[0].Int; d != 0 {
+		t.Fatalf("wheel delta = %d", d)
+	}
+}
+
+func TestVideoCaptureBadHandle(t *testing.T) {
+	e := newEnv(t)
+	tid, _, _ := e.ctx.NewTensor(2)
+	if _, err := e.reg.MustGet("cv.VideoCapture.read").Exec(e.ctx, []framework.Value{framework.Obj(tid)}); err == nil {
+		t.Fatal("tensor handle should fail VideoCapture.read")
+	}
+	if _, err := e.reg.MustGet("cv.VideoCapture").Exec(e.ctx, []framework.Value{framework.Int64(9)}); err == nil {
+		t.Fatal("unregistered camera index should fail")
+	}
+}
+
+func TestWriteOpticalFlowBadShape(t *testing.T) {
+	e := newEnv(t)
+	bad, _, _ := e.ctx.NewTensor(4)
+	if _, err := e.reg.MustGet("cv.writeOpticalFlow").Exec(e.ctx,
+		[]framework.Value{framework.Str("/f"), framework.Obj(bad)}); err == nil {
+		t.Fatal("non rows x cols x 2 tensor should fail")
+	}
+}
+
+func TestBoundingRectContourErrors(t *testing.T) {
+	e := newEnv(t)
+	cid, ct, _ := e.ctx.NewTensor(2, 5)
+	_ = ct.SetValues([]float64{0, 0, 1, 1, 4, 2, 2, 3, 3, 4})
+	for _, api := range []string{"cv.boundingRect", "cv.contourArea"} {
+		if _, err := e.reg.MustGet(api).Exec(e.ctx,
+			[]framework.Value{framework.Obj(cid), framework.Int64(9)}); err == nil {
+			t.Fatalf("%s with out-of-range index should fail", api)
+		}
+	}
+}

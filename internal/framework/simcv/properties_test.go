@@ -1,0 +1,264 @@
+package simcv_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"freepart.dev/freepart/internal/framework"
+	"freepart.dev/freepart/internal/object"
+)
+
+// randomMat materializes arbitrary bytes as an 8x8 mat.
+func (e *env) randomMat(t *testing.T, seedBytes []byte) framework.Value {
+	t.Helper()
+	data := make([]byte, 64)
+	copy(data, seedBytes)
+	id, _, err := e.ctx.NewMatFromBytes(8, 8, 1, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return framework.Obj(id)
+}
+
+// bytesOf fetches a result mat's payload.
+func (e *env) bytesOf(t *testing.T, v framework.Value) []byte {
+	t.Helper()
+	b, err := object.PayloadBytes(e.matOf(t, v))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestPropertyFlipInvolution(t *testing.T) {
+	e := newEnv(t)
+	f := func(seed []byte) bool {
+		in := e.randomMat(t, seed)
+		once := e.call(t, "cv.flip", in, framework.Int64(1))[0]
+		twice := e.call(t, "cv.flip", once, framework.Int64(1))[0]
+		return string(e.bytesOf(t, twice)) == string(e.bytesOf(t, in))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyTransposeInvolution(t *testing.T) {
+	e := newEnv(t)
+	f := func(seed []byte) bool {
+		in := e.randomMat(t, seed)
+		once := e.call(t, "cv.transpose", in)[0]
+		twice := e.call(t, "cv.transpose", once)[0]
+		return string(e.bytesOf(t, twice)) == string(e.bytesOf(t, in))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyThresholdIdempotent(t *testing.T) {
+	e := newEnv(t)
+	f := func(seed []byte, th uint8) bool {
+		in := e.randomMat(t, seed)
+		once := e.call(t, "cv.threshold", in, framework.Int64(int64(th)))[0]
+		twice := e.call(t, "cv.threshold", once, framework.Int64(int64(th)))[0]
+		return string(e.bytesOf(t, twice)) == string(e.bytesOf(t, once))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyErodeDilateOrdering(t *testing.T) {
+	// Pointwise: erode(x) <= x <= dilate(x).
+	e := newEnv(t)
+	f := func(seed []byte) bool {
+		in := e.randomMat(t, seed)
+		orig := e.bytesOf(t, in)
+		er := e.bytesOf(t, e.call(t, "cv.erode", in)[0])
+		di := e.bytesOf(t, e.call(t, "cv.dilate", in)[0])
+		for i := range orig {
+			if er[i] > orig[i] || di[i] < orig[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyBlurPreservesRange(t *testing.T) {
+	// A mean filter never exceeds the input's min/max.
+	e := newEnv(t)
+	f := func(seed []byte) bool {
+		in := e.randomMat(t, seed)
+		orig := e.bytesOf(t, in)
+		lo, hi := orig[0], orig[0]
+		for _, v := range orig {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		out := e.bytesOf(t, e.call(t, "cv.blur", in)[0])
+		for _, v := range out {
+			if v < lo || v > hi {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyNormalizeFullRange(t *testing.T) {
+	// After min-max normalization a non-constant image spans [0, 255].
+	e := newEnv(t)
+	f := func(seed []byte) bool {
+		if len(seed) < 2 {
+			return true
+		}
+		in := e.randomMat(t, seed)
+		orig := e.bytesOf(t, in)
+		constant := true
+		for _, v := range orig {
+			if v != orig[0] {
+				constant = false
+				break
+			}
+		}
+		if constant {
+			return true
+		}
+		out := e.bytesOf(t, e.call(t, "cv.normalize", in)[0])
+		var sawLo, sawHi bool
+		for _, v := range out {
+			if v == 0 {
+				sawLo = true
+			}
+			if v >= 250 { // integer division rounds the top of the range
+				sawHi = true
+			}
+		}
+		return sawLo && sawHi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyCountNonZeroBounds(t *testing.T) {
+	e := newEnv(t)
+	f := func(seed []byte) bool {
+		in := e.randomMat(t, seed)
+		n := e.call(t, "cv.countNonZero", in)[0].Int
+		return n >= 0 && n <= 64
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyHistogramMassConserved(t *testing.T) {
+	// The histogram's bin counts sum to the pixel count.
+	e := newEnv(t)
+	f := func(seed []byte) bool {
+		in := e.randomMat(t, seed)
+		h := e.call(t, "cv.calcHist", in)[0]
+		ht, err := e.ctx.Tensor(h)
+		if err != nil {
+			return false
+		}
+		vals, err := ht.Values()
+		if err != nil {
+			return false
+		}
+		sum := 0.0
+		for _, v := range vals {
+			sum += v
+		}
+		return sum == 64
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyAddCommutes(t *testing.T) {
+	e := newEnv(t)
+	f := func(s1, s2 []byte) bool {
+		a := e.randomMat(t, s1)
+		b := e.randomMat(t, s2)
+		ab := e.bytesOf(t, e.call(t, "cv.add", a, b)[0])
+		ba := e.bytesOf(t, e.call(t, "cv.add", b, a)[0])
+		return string(ab) == string(ba)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyAbsdiffSymmetricZeroSelf(t *testing.T) {
+	e := newEnv(t)
+	f := func(s1, s2 []byte) bool {
+		a := e.randomMat(t, s1)
+		b := e.randomMat(t, s2)
+		ab := e.bytesOf(t, e.call(t, "cv.absdiff", a, b)[0])
+		ba := e.bytesOf(t, e.call(t, "cv.absdiff", b, a)[0])
+		if string(ab) != string(ba) {
+			return false
+		}
+		aa := e.bytesOf(t, e.call(t, "cv.absdiff", a, a)[0])
+		for _, v := range aa {
+			if v != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyResizeRoundTripShape(t *testing.T) {
+	e := newEnv(t)
+	f := func(seed []byte) bool {
+		in := e.randomMat(t, seed)
+		up := e.call(t, "cv.resize", in, framework.Int64(16), framework.Int64(16))[0]
+		down := e.call(t, "cv.resize", up, framework.Int64(8), framework.Int64(8))[0]
+		m := e.matOf(t, down)
+		return m.Rows() == 8 && m.Cols() == 8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyMinMaxConsistent(t *testing.T) {
+	e := newEnv(t)
+	f := func(seed []byte) bool {
+		in := e.randomMat(t, seed)
+		mm := e.call(t, "cv.minMaxLoc", in)
+		lo, hi := mm[0].Int, mm[1].Int
+		if lo > hi {
+			return false
+		}
+		data := e.bytesOf(t, in)
+		for _, v := range data {
+			if int64(v) < lo || int64(v) > hi {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

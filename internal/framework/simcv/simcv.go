@@ -1,0 +1,115 @@
+// Package simcv is a miniature OpenCV: ~90 image-processing APIs with real
+// implementations over the simulated substrate. It provides the data
+// loading, processing, visualizing, and storing APIs the paper's motivating
+// example and evaluation applications use (Tables 2, 4, 6), with the CVE
+// sites of Table 5 injected at the same APIs the paper names.
+//
+// Image file/frame format: "IMG1" magic, three big-endian uint32 (rows,
+// cols, channels), then row-major payload bytes. Crafted exploit inputs
+// instead begin with the framework trigger magic (framework.Trigger).
+package simcv
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"freepart.dev/freepart/internal/framework"
+	"freepart.dev/freepart/internal/object"
+)
+
+// Name is the framework identifier used in API metadata.
+const Name = "simcv"
+
+// imgMagic prefixes encoded images.
+var imgMagic = []byte("IMG1")
+
+// EncodeImage serializes an image to the simcv file format.
+func EncodeImage(rows, cols, channels int, data []byte) ([]byte, error) {
+	if len(data) != rows*cols*channels {
+		return nil, fmt.Errorf("simcv: encode %d bytes for shape %dx%dx%d", len(data), rows, cols, channels)
+	}
+	out := make([]byte, 0, 16+len(data))
+	out = append(out, imgMagic...)
+	out = binary.BigEndian.AppendUint32(out, uint32(rows))
+	out = binary.BigEndian.AppendUint32(out, uint32(cols))
+	out = binary.BigEndian.AppendUint32(out, uint32(channels))
+	return append(out, data...), nil
+}
+
+// DecodeImage parses the simcv file format.
+func DecodeImage(b []byte) (rows, cols, channels int, data []byte, err error) {
+	if len(b) < 16 || string(b[:4]) != string(imgMagic) {
+		return 0, 0, 0, nil, fmt.Errorf("simcv: not an image (%d bytes)", len(b))
+	}
+	rows = int(binary.BigEndian.Uint32(b[4:8]))
+	cols = int(binary.BigEndian.Uint32(b[8:12]))
+	channels = int(binary.BigEndian.Uint32(b[12:16]))
+	data = b[16:]
+	if rows <= 0 || cols <= 0 || channels <= 0 || len(data) != rows*cols*channels {
+		return 0, 0, 0, nil, fmt.Errorf("simcv: corrupt image header %dx%dx%d with %d payload bytes", rows, cols, channels, len(data))
+	}
+	return rows, cols, channels, data, nil
+}
+
+// EncodeMat serializes a mat object to the image format.
+func EncodeMat(m *object.Mat) ([]byte, error) {
+	data, err := object.PayloadBytes(m)
+	if err != nil {
+		return nil, err
+	}
+	return EncodeImage(m.Rows(), m.Cols(), m.Channels(), data)
+}
+
+// matAndBytes resolves an argument to its mat and full payload.
+func matAndBytes(ctx *framework.Ctx, v framework.Value) (*object.Mat, []byte, error) {
+	m, err := ctx.Mat(v)
+	if err != nil {
+		return nil, nil, err
+	}
+	data, err := object.PayloadBytes(m)
+	if err != nil {
+		return nil, nil, err
+	}
+	return m, data, nil
+}
+
+// outMat allocates a result mat filled with data and returns its Value.
+func outMat(ctx *framework.Ctx, rows, cols, ch int, data []byte) (framework.Value, error) {
+	id, _, err := ctx.NewMatFromBytes(rows, cols, ch, data)
+	if err != nil {
+		return framework.Nil(), err
+	}
+	return framework.Obj(id), nil
+}
+
+// needArgs validates the argument count.
+func needArgs(api string, args []framework.Value, n int) error {
+	if len(args) < n {
+		return fmt.Errorf("simcv: %s needs %d args, got %d", api, n, len(args))
+	}
+	return nil
+}
+
+// clampByte clamps an int to [0, 255].
+func clampByte(v int) byte {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return byte(v)
+}
+
+// Registry builds the full simcv API registry.
+func Registry() *framework.Registry {
+	r := framework.NewRegistry()
+	registerIO(r)
+	registerPoint(r)
+	registerFilter(r)
+	registerGeometry(r)
+	registerAnalysis(r)
+	registerDrawing(r)
+	registerDetect(r)
+	return r
+}

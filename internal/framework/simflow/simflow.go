@@ -1,0 +1,588 @@
+// Package simflow is a miniature TensorFlow: dataset/file ingestion
+// (including the memory-copy-via-file pattern of §4.2.1), tensor ops and
+// pooling/convolution kernels carrying the paper's four TensorFlow CVEs
+// (Table 5), a stateful estimator with checkpointable training state
+// (§A.2.4), and model persistence.
+package simflow
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"freepart.dev/freepart/internal/framework"
+	"freepart.dev/freepart/internal/kernel"
+	"freepart.dev/freepart/internal/object"
+)
+
+// Name is the framework identifier.
+const Name = "simflow"
+
+// TensorFlow CVEs used in the evaluation (Table 5), placed at data
+// processing APIs as the paper categorizes them.
+const (
+	CVEConv3dDoS  = "CVE-2021-29513" // DoS (tf.nn.conv3d)
+	CVEAvgPoolDoS = "CVE-2021-29618" // DoS (tf.nn.avg_pool)
+	CVEMaxPoolDoS = "CVE-2021-37661" // DoS (tf.nn.max_pool)
+	CVEMatmulDoS  = "CVE-2021-41198" // DoS (tf.matmul)
+)
+
+func dpOps() []framework.Op {
+	return []framework.Op{framework.WriteOp(framework.StorageMem, framework.StorageMem)}
+}
+
+func tensorArg(ctx *framework.Ctx, args []framework.Value, i int) (*object.Tensor, error) {
+	if i >= len(args) {
+		return nil, fmt.Errorf("simflow: missing tensor argument %d", i)
+	}
+	return ctx.Tensor(args[i])
+}
+
+func newOut(ctx *framework.Ctx, shape []int, vals []float64) (framework.Value, error) {
+	id, t, err := ctx.NewTensor(shape...)
+	if err != nil {
+		return framework.Nil(), err
+	}
+	if err := t.SetValues(vals); err != nil {
+		return framework.Nil(), err
+	}
+	return framework.Obj(id), nil
+}
+
+// EncodeDataset serializes float64 samples for image_dataset_from_directory
+// and estimator training.
+func EncodeDataset(vals []float64) []byte {
+	out := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.BigEndian.PutUint64(out[i*8:], math.Float64bits(v))
+	}
+	return out
+}
+
+// decodeDataset parses a dataset file.
+func decodeDataset(b []byte) ([]float64, error) {
+	if len(b) == 0 || len(b)%8 != 0 {
+		return nil, fmt.Errorf("simflow: dataset length %d not a float64 multiple", len(b))
+	}
+	vals := make([]float64, len(b)/8)
+	for i := range vals {
+		vals[i] = math.Float64frombits(binary.BigEndian.Uint64(b[i*8:]))
+	}
+	return vals, nil
+}
+
+// Registry builds the simflow API registry.
+func Registry() *framework.Registry {
+	r := framework.NewRegistry()
+
+	// ---- Data loading ------------------------------------------------------
+
+	r.Register(&framework.API{
+		Name: "tf.keras.utils.get_file", Framework: Name, TrueType: framework.TypeLoading,
+		// The paper's worked §4.2.1 example: download → stash in a temp
+		// file → read back. Static ops expose the full chain; the analyzer
+		// must reduce the FILE round trip away.
+		StaticOps: []framework.Op{
+			framework.WriteOp(framework.StorageMem, framework.StorageDev),
+			framework.WriteOp(framework.StorageFile, framework.StorageMem),
+			framework.WriteOp(framework.StorageMem, framework.StorageFile),
+		},
+		Syscalls: []kernel.Sysno{kernel.SysSocket, kernel.SysConnect, kernel.SysRecvfrom, kernel.SysOpenat, kernel.SysWrite, kernel.SysRead, kernel.SysClose},
+		FDLabels: map[kernel.Sysno][]string{kernel.SysConnect: {"storage.googleapis.com"}},
+		Impl: func(ctx *framework.Ctx, args []framework.Value) ([]framework.Value, error) {
+			if len(args) < 1 {
+				return nil, fmt.Errorf("simflow: get_file needs a name")
+			}
+			host := "storage.googleapis.com"
+			if err := ctx.K.NetConnect(ctx.P, host); err != nil {
+				return nil, err
+			}
+			data, ok, err := ctx.NetDownload(host)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				return nil, fmt.Errorf("simflow: no download queued for %q", args[0].Str)
+			}
+			tmp := "/tmp/" + args[0].Str
+			if err := ctx.FileWrite(tmp, data); err != nil {
+				return nil, err
+			}
+			raw, err := ctx.FileRead(tmp)
+			if err != nil {
+				return nil, err
+			}
+			id, _, err := ctx.NewBlob(raw)
+			if err != nil {
+				return nil, err
+			}
+			return []framework.Value{framework.Obj(id), framework.Str(tmp)}, nil
+		},
+	})
+
+	r.Register(&framework.API{
+		Name: "tf.keras.preprocessing.image_dataset_from_directory", Framework: Name,
+		TrueType:  framework.TypeLoading,
+		StaticOps: []framework.Op{framework.WriteOp(framework.StorageMem, framework.StorageFile)},
+		Syscalls:  []kernel.Sysno{kernel.SysOpenat, kernel.SysFstat, kernel.SysRead, kernel.SysClose, kernel.SysGetcwd, kernel.SysLstat},
+		Impl: func(ctx *framework.Ctx, args []framework.Value) ([]framework.Value, error) {
+			if len(args) < 1 {
+				return nil, fmt.Errorf("simflow: image_dataset_from_directory needs a dir")
+			}
+			paths := ctx.K.FS.List(args[0].Str)
+			if len(paths) == 0 {
+				return nil, fmt.Errorf("simflow: empty dataset dir %s", args[0].Str)
+			}
+			var all []float64
+			for _, p := range paths {
+				raw, err := ctx.FileRead(p)
+				if err != nil {
+					return nil, err
+				}
+				vals, err := decodeDataset(raw)
+				if err != nil {
+					return nil, err
+				}
+				all = append(all, vals...)
+			}
+			ctx.Charge(len(all)*8, 1)
+			v, err := newOut(ctx, []int{len(all)}, all)
+			if err != nil {
+				return nil, err
+			}
+			return []framework.Value{v}, nil
+		},
+	})
+
+	r.Register(&framework.API{
+		Name: "tf.io.read_file", Framework: Name, TrueType: framework.TypeLoading,
+		StaticOps: []framework.Op{framework.WriteOp(framework.StorageMem, framework.StorageFile)},
+		Syscalls:  []kernel.Sysno{kernel.SysOpenat, kernel.SysFstat, kernel.SysRead, kernel.SysClose},
+		Impl: func(ctx *framework.Ctx, args []framework.Value) ([]framework.Value, error) {
+			if len(args) < 1 {
+				return nil, fmt.Errorf("simflow: read_file needs a path")
+			}
+			raw, err := ctx.FileRead(args[0].Str)
+			if err != nil {
+				return nil, err
+			}
+			id, _, err := ctx.NewBlob(raw)
+			if err != nil {
+				return nil, err
+			}
+			return []framework.Value{framework.Obj(id)}, nil
+		},
+	})
+
+	// ---- Data processing ---------------------------------------------------
+
+	conv3d := &framework.API{
+		Name: "tf.nn.conv3d", Framework: Name, TrueType: framework.TypeProcessing,
+		StaticOps: dpOps(), Syscalls: []kernel.Sysno{kernel.SysBrk, kernel.SysFutex}, Intensity: 27,
+		CVEs: []string{CVEConv3dDoS},
+		Impl: nil, // set below (needs self-reference for MaybeExploit)
+	}
+	conv3d.Impl = func(ctx *framework.Ctx, args []framework.Value) ([]framework.Value, error) {
+		in, err := tensorArg(ctx, args, 0)
+		if err != nil {
+			return nil, err
+		}
+		si := in.Shape()
+		if len(si) != 3 || si[0] < 3 || si[1] < 3 || si[2] < 3 {
+			return nil, fmt.Errorf("simflow: conv3d input %v", si)
+		}
+		vi, err := in.Values()
+		if err != nil {
+			return nil, err
+		}
+		if fired, err := exploitOnTensor(ctx, conv3d, vi); fired {
+			return nil, err
+		}
+		ctx.Charge(in.Size(), 27)
+		ctx.EmitMemOp()
+		d, h, w := si[0], si[1], si[2]
+		od, oh, ow := d-2, h-2, w-2
+		out := make([]float64, od*oh*ow)
+		for z := 0; z < od; z++ {
+			for y := 0; y < oh; y++ {
+				for x := 0; x < ow; x++ {
+					s := 0.0
+					for dz := 0; dz < 3; dz++ {
+						for dy := 0; dy < 3; dy++ {
+							for dx := 0; dx < 3; dx++ {
+								s += vi[(z+dz)*h*w+(y+dy)*w+x+dx]
+							}
+						}
+					}
+					out[z*oh*ow+y*ow+x] = s / 27
+				}
+			}
+		}
+		v, err := newOut(ctx, []int{od, oh, ow}, out)
+		if err != nil {
+			return nil, err
+		}
+		return []framework.Value{v}, nil
+	}
+	r.Register(conv3d)
+
+	pool := func(name, cve string, avg bool) *framework.API {
+		var api *framework.API
+		api = &framework.API{
+			Name: name, Framework: Name, TrueType: framework.TypeProcessing,
+			StaticOps: dpOps(), Syscalls: []kernel.Sysno{kernel.SysBrk}, Intensity: 4,
+			CVEs: []string{cve},
+			Impl: func(ctx *framework.Ctx, args []framework.Value) ([]framework.Value, error) {
+				in, err := tensorArg(ctx, args, 0)
+				if err != nil {
+					return nil, err
+				}
+				si := in.Shape()
+				if len(si) != 2 || si[0] < 2 || si[1] < 2 {
+					return nil, fmt.Errorf("simflow: %s input %v", name, si)
+				}
+				vi, err := in.Values()
+				if err != nil {
+					return nil, err
+				}
+				if fired, err := exploitOnTensor(ctx, api, vi); fired {
+					return nil, err
+				}
+				ctx.Charge(in.Size(), 4)
+				ctx.EmitMemOp()
+				oh, ow := si[0]/2, si[1]/2
+				out := make([]float64, oh*ow)
+				for y := 0; y < oh; y++ {
+					for x := 0; x < ow; x++ {
+						a := vi[(2*y)*si[1]+2*x]
+						b := vi[(2*y)*si[1]+2*x+1]
+						c := vi[(2*y+1)*si[1]+2*x]
+						d := vi[(2*y+1)*si[1]+2*x+1]
+						if avg {
+							out[y*ow+x] = (a + b + c + d) / 4
+						} else {
+							out[y*ow+x] = math.Max(math.Max(a, b), math.Max(c, d))
+						}
+					}
+				}
+				v, err := newOut(ctx, []int{oh, ow}, out)
+				if err != nil {
+					return nil, err
+				}
+				return []framework.Value{v}, nil
+			},
+		}
+		return api
+	}
+	r.Register(pool("tf.nn.avg_pool", CVEAvgPoolDoS, true))
+	r.Register(pool("tf.nn.max_pool", CVEMaxPoolDoS, false))
+
+	matmul := &framework.API{
+		Name: "tf.matmul", Framework: Name, TrueType: framework.TypeProcessing,
+		StaticOps: dpOps(), Syscalls: []kernel.Sysno{kernel.SysBrk, kernel.SysFutex}, Intensity: 8,
+		CVEs: []string{CVEMatmulDoS},
+	}
+	matmul.Impl = func(ctx *framework.Ctx, args []framework.Value) ([]framework.Value, error) {
+		a, err := tensorArg(ctx, args, 0)
+		if err != nil {
+			return nil, err
+		}
+		b, err := tensorArg(ctx, args, 1)
+		if err != nil {
+			return nil, err
+		}
+		sa, sb := a.Shape(), b.Shape()
+		if len(sa) != 2 || len(sb) != 2 || sa[1] != sb[0] {
+			return nil, fmt.Errorf("simflow: matmul %v x %v", sa, sb)
+		}
+		va, err := a.Values()
+		if err != nil {
+			return nil, err
+		}
+		if fired, err := exploitOnTensor(ctx, matmul, va); fired {
+			return nil, err
+		}
+		vb, err := b.Values()
+		if err != nil {
+			return nil, err
+		}
+		ctx.Charge(a.Size()+b.Size(), float64(sa[1]))
+		ctx.EmitMemOp()
+		m, k, n := sa[0], sa[1], sb[1]
+		out := make([]float64, m*n)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				s := 0.0
+				for x := 0; x < k; x++ {
+					s += va[i*k+x] * vb[x*n+j]
+				}
+				out[i*n+j] = s
+			}
+		}
+		v, err := newOut(ctx, []int{m, n}, out)
+		if err != nil {
+			return nil, err
+		}
+		return []framework.Value{v}, nil
+	}
+	r.Register(matmul)
+
+	ew := func(name string, f func(float64) float64) *framework.API {
+		return &framework.API{
+			Name: name, Framework: Name, TrueType: framework.TypeProcessing,
+			StaticOps: dpOps(), Syscalls: []kernel.Sysno{kernel.SysBrk}, Intensity: 1,
+			Impl: func(ctx *framework.Ctx, args []framework.Value) ([]framework.Value, error) {
+				t, err := tensorArg(ctx, args, 0)
+				if err != nil {
+					return nil, err
+				}
+				vals, err := t.Values()
+				if err != nil {
+					return nil, err
+				}
+				ctx.Charge(t.Size(), 1)
+				ctx.EmitMemOp()
+				out := make([]float64, len(vals))
+				for i, v := range vals {
+					out[i] = f(v)
+				}
+				res, err := newOut(ctx, t.Shape(), out)
+				if err != nil {
+					return nil, err
+				}
+				return []framework.Value{res}, nil
+			},
+		}
+	}
+	r.Register(ew("tf.nn.relu", func(v float64) float64 { return math.Max(0, v) }))
+	r.Register(ew("tf.nn.softplus", func(v float64) float64 { return math.Log1p(math.Exp(v)) }))
+	r.Register(ew("tf.cast", func(v float64) float64 { return math.Trunc(v) }))
+	r.Register(ew("tf.square", func(v float64) float64 { return v * v }))
+
+	r.Register(&framework.API{
+		Name: "tf.reduce_mean", Framework: Name, TrueType: framework.TypeProcessing,
+		StaticOps: dpOps(), Syscalls: []kernel.Sysno{kernel.SysBrk}, Intensity: 1,
+		Impl: func(ctx *framework.Ctx, args []framework.Value) ([]framework.Value, error) {
+			t, err := tensorArg(ctx, args, 0)
+			if err != nil {
+				return nil, err
+			}
+			vals, err := t.Values()
+			if err != nil {
+				return nil, err
+			}
+			ctx.Charge(t.Size(), 1)
+			ctx.EmitMemOp()
+			s := 0.0
+			for _, v := range vals {
+				s += v
+			}
+			return []framework.Value{framework.Float64(s / float64(len(vals)))}, nil
+		},
+	})
+
+	r.Register(&framework.API{
+		Name: "tf.argmax", Framework: Name, TrueType: framework.TypeProcessing,
+		StaticOps: dpOps(), Syscalls: []kernel.Sysno{kernel.SysBrk}, Intensity: 1,
+		Impl: func(ctx *framework.Ctx, args []framework.Value) ([]framework.Value, error) {
+			t, err := tensorArg(ctx, args, 0)
+			if err != nil {
+				return nil, err
+			}
+			vals, err := t.Values()
+			if err != nil {
+				return nil, err
+			}
+			ctx.Charge(t.Size(), 1)
+			ctx.EmitMemOp()
+			best := 0
+			for i, v := range vals {
+				if v > vals[best] {
+					best = i
+				}
+			}
+			return []framework.Value{framework.Int64(int64(best))}, nil
+		},
+	})
+
+	r.Register(&framework.API{
+		Name: "tf.one_hot", Framework: Name, TrueType: framework.TypeProcessing,
+		StaticOps: dpOps(), Syscalls: []kernel.Sysno{kernel.SysBrk}, Intensity: 1,
+		Impl: func(ctx *framework.Ctx, args []framework.Value) ([]framework.Value, error) {
+			if len(args) < 2 {
+				return nil, fmt.Errorf("simflow: one_hot needs (index, depth)")
+			}
+			idx, depth := int(args[0].Int), int(args[1].Int)
+			if depth <= 0 || idx < 0 || idx >= depth {
+				return nil, fmt.Errorf("simflow: one_hot(%d, %d)", idx, depth)
+			}
+			vals := make([]float64, depth)
+			vals[idx] = 1
+			ctx.EmitMemOp()
+			v, err := newOut(ctx, []int{depth}, vals)
+			if err != nil {
+				return nil, err
+			}
+			return []framework.Value{v}, nil
+		},
+	})
+
+	// tf.image.resize works on tensors shaped HxW.
+	r.Register(&framework.API{
+		Name: "tf.image.resize", Framework: Name, TrueType: framework.TypeProcessing,
+		StaticOps: dpOps(), Syscalls: []kernel.Sysno{kernel.SysBrk}, Intensity: 2,
+		Impl: func(ctx *framework.Ctx, args []framework.Value) ([]framework.Value, error) {
+			in, err := tensorArg(ctx, args, 0)
+			if err != nil {
+				return nil, err
+			}
+			if len(args) < 3 {
+				return nil, fmt.Errorf("simflow: resize needs (tensor, h, w)")
+			}
+			nh, nw := int(args[1].Int), int(args[2].Int)
+			si := in.Shape()
+			if len(si) != 2 || nh <= 0 || nw <= 0 {
+				return nil, fmt.Errorf("simflow: resize %v to %dx%d", si, nh, nw)
+			}
+			vi, err := in.Values()
+			if err != nil {
+				return nil, err
+			}
+			ctx.Charge(in.Size(), 2)
+			ctx.EmitMemOp()
+			out := make([]float64, nh*nw)
+			for y := 0; y < nh; y++ {
+				for x := 0; x < nw; x++ {
+					out[y*nw+x] = vi[(y*si[0]/nh)*si[1]+x*si[1]/nw]
+				}
+			}
+			v, err := newOut(ctx, []int{nh, nw}, out)
+			if err != nil {
+				return nil, err
+			}
+			return []framework.Value{v}, nil
+		},
+	})
+
+	// DNNClassifier.train is the stateful API of §A.2.4: it accumulates
+	// training state in a caller-held state tensor [steps, loss].
+	r.Register(&framework.API{
+		Name: "tf.estimator.DNNClassifier.train", Framework: Name,
+		TrueType: framework.TypeProcessing, Stateful: true, SharedState: true,
+		StaticOps: dpOps(), Syscalls: []kernel.Sysno{kernel.SysBrk, kernel.SysFutex, kernel.SysGetrandom}, Intensity: 12,
+		Impl: func(ctx *framework.Ctx, args []framework.Value) ([]framework.Value, error) {
+			st, err := tensorArg(ctx, args, 0)
+			if err != nil {
+				return nil, err
+			}
+			data, err := tensorArg(ctx, args, 1)
+			if err != nil {
+				return nil, err
+			}
+			if st.Len() < 2 {
+				return nil, fmt.Errorf("simflow: train state needs [steps, loss]")
+			}
+			vals, err := data.Values()
+			if err != nil {
+				return nil, err
+			}
+			ctx.Charge(data.Size(), 12)
+			ctx.EmitMemOp()
+			loss := 0.0
+			for _, v := range vals {
+				loss += v * v
+			}
+			loss = math.Sqrt(loss) / float64(len(vals))
+			steps, _ := st.AtFlat(0)
+			prev, _ := st.AtFlat(1)
+			_ = st.SetFlat(0, steps+1)
+			_ = st.SetFlat(1, 0.9*prev+0.1*loss)
+			return []framework.Value{framework.Float64(loss)}, nil
+		},
+	})
+
+	// enable_dump_debug_info reads profiling state other APIs write — the
+	// shared-state debugging API discussed in §A.6.
+	r.Register(&framework.API{
+		Name: "tf.debugging.experimental.enable_dump_debug_info", Framework: Name,
+		TrueType: framework.TypeProcessing, Stateful: true, SharedState: true,
+		StaticOps: dpOps(), Syscalls: []kernel.Sysno{kernel.SysBrk, kernel.SysOpenat, kernel.SysWrite, kernel.SysClose}, Intensity: 1,
+		Impl: func(ctx *framework.Ctx, args []framework.Value) ([]framework.Value, error) {
+			dir := "/tmp/tfdbg"
+			if len(args) > 0 && args[0].Str != "" {
+				dir = args[0].Str
+			}
+			return nil, ctx.FileAppend(dir+"/dump.log", []byte("debug dump enabled\n"))
+		},
+	})
+
+	// ---- Storing ------------------------------------------------------------
+
+	r.Register(&framework.API{
+		Name: "tf.keras.Model.save_weights", Framework: Name, TrueType: framework.TypeStoring,
+		StaticOps: []framework.Op{framework.WriteOp(framework.StorageFile, framework.StorageMem)},
+		Syscalls:  []kernel.Sysno{kernel.SysOpenat, kernel.SysWrite, kernel.SysClose, kernel.SysMkdir, kernel.SysAccess},
+		Impl: func(ctx *framework.Ctx, args []framework.Value) ([]framework.Value, error) {
+			if len(args) < 2 {
+				return nil, fmt.Errorf("simflow: save_weights needs (tensor, path)")
+			}
+			t, err := tensorArg(ctx, args, 0)
+			if err != nil {
+				return nil, err
+			}
+			vals, err := t.Values()
+			if err != nil {
+				return nil, err
+			}
+			ctx.Charge(t.Size(), 1)
+			return nil, ctx.FileWrite(args[1].Str, EncodeDataset(vals))
+		},
+	})
+
+	r.Register(&framework.API{
+		Name: "tf.keras.preprocessing.image.save_img", Framework: Name, TrueType: framework.TypeStoring,
+		StaticOps: []framework.Op{framework.WriteOp(framework.StorageFile, framework.StorageMem)},
+		Syscalls:  []kernel.Sysno{kernel.SysOpenat, kernel.SysWrite, kernel.SysClose, kernel.SysUnlink},
+		Impl: func(ctx *framework.Ctx, args []framework.Value) ([]framework.Value, error) {
+			if len(args) < 2 {
+				return nil, fmt.Errorf("simflow: save_img needs (tensor, path)")
+			}
+			t, err := tensorArg(ctx, args, 0)
+			if err != nil {
+				return nil, err
+			}
+			vals, err := t.Values()
+			if err != nil {
+				return nil, err
+			}
+			ctx.Charge(t.Size(), 1)
+			return nil, ctx.FileWrite(args[1].Str, EncodeDataset(vals))
+		},
+	})
+
+	return r
+}
+
+// exploitOnTensor fires a trigger embedded in tensor values: crafted
+// tensors carry the trigger encoded as a run of values spelling the magic
+// bytes. The attack layer builds these with EncodeTriggerTensor.
+func exploitOnTensor(ctx *framework.Ctx, api *framework.API, vals []float64) (bool, error) {
+	raw := make([]byte, 0, len(vals))
+	for _, v := range vals {
+		if v < 0 || v > 255 || v != math.Trunc(v) {
+			break
+		}
+		raw = append(raw, byte(v))
+	}
+	return ctx.MaybeExploit(api, raw)
+}
+
+// EncodeTriggerTensor converts a crafted byte input into tensor values so
+// an exploit can flow through tensor-typed APIs.
+func EncodeTriggerTensor(trigger []byte) []float64 {
+	vals := make([]float64, len(trigger))
+	for i, b := range trigger {
+		vals[i] = float64(b)
+	}
+	return vals
+}

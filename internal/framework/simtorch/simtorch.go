@@ -1,0 +1,291 @@
+// Package simtorch is a miniature PyTorch: tensor construction, neural-net
+// layers (conv, linear, pooling, activations), model load/save, dataset
+// loading, and an SGD optimizer, all over the simulated substrate.
+//
+// Model file format: "PTM1" magic, uint32 layer count, then per layer a
+// uint32 value count and big-endian float64 weights. StegoNet-style trojan
+// models (§A.7) are built by embedding a framework.Trigger in the weight
+// stream; the payload detonates when the model executes (Module.forward),
+// matching the paper's observation that model loading feeds the data
+// processing process.
+package simtorch
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"freepart.dev/freepart/internal/framework"
+	"freepart.dev/freepart/internal/kernel"
+	"freepart.dev/freepart/internal/object"
+)
+
+// Name is the framework identifier.
+const Name = "simtorch"
+
+// TensorFlow-style CVE ids live in simflow; simtorch carries the torch
+// pickle-style load hazard used by the StegoNet case study.
+const (
+	// CVEStegoNet marks a trojaned model whose payload runs at inference
+	// time (Liu et al., reproduced in §A.7).
+	CVEStegoNet = "STEGONET-TROJAN"
+)
+
+// modelMagic prefixes serialized models.
+var modelMagic = []byte("PTM1")
+
+// EncodeModel serializes layers of float64 weights.
+func EncodeModel(layers [][]float64) []byte {
+	out := append([]byte(nil), modelMagic...)
+	out = binary.BigEndian.AppendUint32(out, uint32(len(layers)))
+	for _, l := range layers {
+		out = binary.BigEndian.AppendUint32(out, uint32(len(l)))
+		for _, v := range l {
+			out = binary.BigEndian.AppendUint64(out, math.Float64bits(v))
+		}
+	}
+	return out
+}
+
+// DecodeModel parses a serialized model.
+func DecodeModel(b []byte) ([][]float64, error) {
+	if len(b) < 8 || string(b[:4]) != string(modelMagic) {
+		return nil, fmt.Errorf("simtorch: not a model file")
+	}
+	n := int(binary.BigEndian.Uint32(b[4:8]))
+	off := 8
+	layers := make([][]float64, 0, n)
+	for i := 0; i < n; i++ {
+		if off+4 > len(b) {
+			return nil, fmt.Errorf("simtorch: truncated model (layer %d header)", i)
+		}
+		cnt := int(binary.BigEndian.Uint32(b[off:]))
+		off += 4
+		if off+8*cnt > len(b) {
+			return nil, fmt.Errorf("simtorch: truncated model (layer %d data)", i)
+		}
+		l := make([]float64, cnt)
+		for j := range l {
+			l[j] = math.Float64frombits(binary.BigEndian.Uint64(b[off:]))
+			off += 8
+		}
+		layers = append(layers, l)
+	}
+	return layers, nil
+}
+
+// dpOps is the canonical processing flow.
+func dpOps() []framework.Op {
+	return []framework.Op{framework.WriteOp(framework.StorageMem, framework.StorageMem)}
+}
+
+// tensorArg resolves args[i] to a tensor.
+func tensorArg(ctx *framework.Ctx, args []framework.Value, i int) (*object.Tensor, error) {
+	if i >= len(args) {
+		return nil, fmt.Errorf("simtorch: missing tensor argument %d", i)
+	}
+	return ctx.Tensor(args[i])
+}
+
+// newOut allocates a result tensor with vals.
+func newOut(ctx *framework.Ctx, shape []int, vals []float64) (framework.Value, error) {
+	id, t, err := ctx.NewTensor(shape...)
+	if err != nil {
+		return framework.Nil(), err
+	}
+	if err := t.SetValues(vals); err != nil {
+		return framework.Nil(), err
+	}
+	return framework.Obj(id), nil
+}
+
+// elementwise builds a DP API applying f to each element of one tensor.
+func elementwise(name string, f func(float64) float64) *framework.API {
+	return &framework.API{
+		Name: name, Framework: Name, TrueType: framework.TypeProcessing,
+		StaticOps: dpOps(), Syscalls: []kernel.Sysno{kernel.SysBrk}, Intensity: 1,
+		Impl: func(ctx *framework.Ctx, args []framework.Value) ([]framework.Value, error) {
+			t, err := tensorArg(ctx, args, 0)
+			if err != nil {
+				return nil, err
+			}
+			vals, err := t.Values()
+			if err != nil {
+				return nil, err
+			}
+			ctx.Charge(t.Size(), 1)
+			ctx.EmitMemOp()
+			out := make([]float64, len(vals))
+			for i, v := range vals {
+				out[i] = f(v)
+			}
+			v, err := newOut(ctx, t.Shape(), out)
+			if err != nil {
+				return nil, err
+			}
+			return []framework.Value{v}, nil
+		},
+	}
+}
+
+// Registry builds the simtorch API registry.
+func Registry() *framework.Registry {
+	r := framework.NewRegistry()
+	registerLoading(r)
+	registerNN(r)
+	registerStoring(r)
+	return r
+}
+
+// registerLoading installs model/dataset loading APIs.
+func registerLoading(r *framework.Registry) {
+	var loadAPI *framework.API
+	loadAPI = &framework.API{
+		Name: "torch.load", Framework: Name, TrueType: framework.TypeLoading,
+		StaticOps: []framework.Op{framework.WriteOp(framework.StorageMem, framework.StorageFile)},
+		Syscalls:  []kernel.Sysno{kernel.SysOpenat, kernel.SysFstat, kernel.SysRead, kernel.SysClose, kernel.SysBrk, kernel.SysMmap},
+		Impl: func(ctx *framework.Ctx, args []framework.Value) ([]framework.Value, error) {
+			if len(args) < 1 {
+				return nil, fmt.Errorf("simtorch: load needs a path")
+			}
+			raw, err := ctx.FileRead(args[0].Str)
+			if err != nil {
+				return nil, err
+			}
+			if fired, err := ctx.MaybeExploit(loadAPI, raw); fired {
+				return nil, err
+			}
+			// Trojaned models (StegoNet) parse fine; the payload hides in
+			// the weights and detonates at forward() time.
+			if _, err := DecodeModel(stripTrojan(raw)); err != nil {
+				return nil, err
+			}
+			id, _, err := ctx.NewBlob(raw)
+			if err != nil {
+				return nil, err
+			}
+			return []framework.Value{framework.Obj(id)}, nil
+		},
+	}
+	r.Register(loadAPI)
+
+	r.Register(&framework.API{
+		Name: "torch.hub.load", Framework: Name, TrueType: framework.TypeLoading,
+		// Downloads over the network, caches to disk, then reads back: the
+		// memory-copy-via-file pattern of §4.2.1. Static analysis sees the
+		// file write+read; the reduction collapses it to a load.
+		StaticOps: []framework.Op{
+			framework.WriteOp(framework.StorageMem, framework.StorageDev),
+			framework.WriteOp(framework.StorageFile, framework.StorageMem),
+			framework.WriteOp(framework.StorageMem, framework.StorageFile),
+		},
+		Syscalls: []kernel.Sysno{kernel.SysSocket, kernel.SysConnect, kernel.SysRecvfrom, kernel.SysOpenat, kernel.SysWrite, kernel.SysRead, kernel.SysClose},
+		FDLabels: map[kernel.Sysno][]string{kernel.SysConnect: {"hub.pytorch.org"}},
+		Impl: func(ctx *framework.Ctx, args []framework.Value) ([]framework.Value, error) {
+			if len(args) < 1 {
+				return nil, fmt.Errorf("simtorch: hub.load needs a model name")
+			}
+			host := "hub.pytorch.org"
+			if err := ctx.K.NetConnect(ctx.P, host); err != nil {
+				return nil, err
+			}
+			data, ok, err := ctx.NetDownload(host)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				return nil, fmt.Errorf("simtorch: hub has no model %q queued", args[0].Str)
+			}
+			cache := "/cache/hub/" + args[0].Str
+			if err := ctx.FileWrite(cache, data); err != nil {
+				return nil, err
+			}
+			raw, err := ctx.FileRead(cache)
+			if err != nil {
+				return nil, err
+			}
+			id, _, err := ctx.NewBlob(raw)
+			if err != nil {
+				return nil, err
+			}
+			return []framework.Value{framework.Obj(id)}, nil
+		},
+	})
+
+	r.Register(&framework.API{
+		Name: "torchvision.datasets.MNIST", Framework: Name, TrueType: framework.TypeLoading,
+		StaticOps: []framework.Op{framework.WriteOp(framework.StorageMem, framework.StorageFile)},
+		Syscalls:  []kernel.Sysno{kernel.SysOpenat, kernel.SysFstat, kernel.SysRead, kernel.SysClose, kernel.SysGetcwd},
+		Impl: func(ctx *framework.Ctx, args []framework.Value) ([]framework.Value, error) {
+			if len(args) < 1 {
+				return nil, fmt.Errorf("simtorch: MNIST needs a root dir")
+			}
+			raw, err := ctx.FileRead(args[0].Str + "/mnist.bin")
+			if err != nil {
+				return nil, err
+			}
+			// Dataset file: flat float64s, 64 per sample (8x8 digits).
+			n := len(raw) / 8
+			if n == 0 || n%64 != 0 {
+				return nil, fmt.Errorf("simtorch: bad mnist file (%d values)", n)
+			}
+			vals := make([]float64, n)
+			for i := range vals {
+				vals[i] = math.Float64frombits(binary.BigEndian.Uint64(raw[i*8:]))
+			}
+			ctx.Charge(len(raw), 1)
+			v, err := newOut(ctx, []int{n / 64, 64}, vals)
+			if err != nil {
+				return nil, err
+			}
+			return []framework.Value{v}, nil
+		},
+	})
+
+	// DataLoader is type-neutral: pure memory batching used right after
+	// dataset loads and right before training steps (§A.6).
+	dl := &framework.API{
+		Name: "torch.utils.data.DataLoader", Framework: Name,
+		TrueType: framework.TypeProcessing, Neutral: true,
+		StaticOps: dpOps(), Syscalls: []kernel.Sysno{kernel.SysBrk}, Intensity: 1,
+		Impl: func(ctx *framework.Ctx, args []framework.Value) ([]framework.Value, error) {
+			t, err := tensorArg(ctx, args, 0)
+			if err != nil {
+				return nil, err
+			}
+			batch := 16
+			if len(args) > 1 && args[1].Int > 0 {
+				batch = int(args[1].Int)
+			}
+			sh := t.Shape()
+			if len(sh) != 2 {
+				return nil, fmt.Errorf("simtorch: DataLoader wants NxD dataset, got %v", sh)
+			}
+			if batch > sh[0] {
+				batch = sh[0]
+			}
+			vals, err := t.Values()
+			if err != nil {
+				return nil, err
+			}
+			ctx.Charge(t.Size(), 1)
+			ctx.EmitMemOp()
+			v, err := newOut(ctx, []int{batch, sh[1]}, vals[:batch*sh[1]])
+			if err != nil {
+				return nil, err
+			}
+			return []framework.Value{v}, nil
+		},
+	}
+	r.Register(dl)
+}
+
+// stripTrojan removes an embedded trigger blob from a model file so the
+// clean part parses (trojans hide alongside valid weights).
+func stripTrojan(raw []byte) []byte {
+	if i := bytes.Index(raw, []byte("!!CVE:")); i >= 0 {
+		return raw[:i]
+	}
+	return raw
+}

@@ -1,0 +1,140 @@
+package framework
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"freepart.dev/freepart/internal/object"
+)
+
+// ValueKind discriminates argument/result values.
+type ValueKind uint8
+
+// Value kinds.
+const (
+	ValNil ValueKind = iota
+	ValInt
+	ValFloat
+	ValStr
+	ValBool
+	ValObj // a process-local object id (rewritten to a Ref across the boundary)
+	ValRef // a cross-process object reference (lazy data copy)
+)
+
+// Value is one argument or result of a framework API call. Exactly one
+// field corresponding to Kind is meaningful.
+type Value struct {
+	Kind  ValueKind
+	Int   int64
+	Float float64
+	Str   string
+	Bool  bool
+	// Obj is a process-local object table id (ValObj).
+	Obj uint64
+	// Ref is a cross-process reference (ValRef).
+	Ref object.Ref
+}
+
+// Convenience constructors.
+
+// Nil returns the nil value.
+func Nil() Value { return Value{Kind: ValNil} }
+
+// Int64 wraps an integer.
+func Int64(v int64) Value { return Value{Kind: ValInt, Int: v} }
+
+// Float64 wraps a float.
+func Float64(v float64) Value { return Value{Kind: ValFloat, Float: v} }
+
+// Str wraps a string.
+func Str(v string) Value { return Value{Kind: ValStr, Str: v} }
+
+// Bool wraps a bool.
+func Bool(v bool) Value { return Value{Kind: ValBool, Bool: v} }
+
+// Obj wraps a process-local object id.
+func Obj(id uint64) Value { return Value{Kind: ValObj, Obj: id} }
+
+// RefVal wraps a cross-process object reference.
+func RefVal(r object.Ref) Value { return Value{Kind: ValRef, Ref: r} }
+
+// IsObj reports whether the value carries an object (local or remote).
+func (v Value) IsObj() bool { return v.Kind == ValObj || v.Kind == ValRef }
+
+// String renders the value for logs.
+func (v Value) String() string {
+	switch v.Kind {
+	case ValNil:
+		return "nil"
+	case ValInt:
+		return fmt.Sprintf("%d", v.Int)
+	case ValFloat:
+		return fmt.Sprintf("%g", v.Float)
+	case ValStr:
+		return fmt.Sprintf("%q", v.Str)
+	case ValBool:
+		return fmt.Sprintf("%t", v.Bool)
+	case ValObj:
+		return fmt.Sprintf("obj#%d", v.Obj)
+	case ValRef:
+		return fmt.Sprintf("ref{pid=%d id=%d %dB}", v.Ref.PID, v.Ref.ID, v.Ref.Size)
+	default:
+		return fmt.Sprintf("value(kind=%d)", v.Kind)
+	}
+}
+
+// Call is a marshalled API invocation: the API name plus its arguments.
+// Payloads carries eager object payloads positionally aligned with Args
+// (nil for pass-by-reference under lazy data copy).
+type Call struct {
+	API      string
+	Args     []Value
+	Payloads [][]byte
+}
+
+// Reply is a marshalled API result.
+type Reply struct {
+	Results  []Value
+	Payloads [][]byte
+	// UpdatedArgs carries post-call argument state for out-parameters
+	// (agent_update_arg in Fig. 10-(c)), aligned with the request's Args.
+	UpdatedArgs     []Value
+	UpdatedPayloads [][]byte
+}
+
+// EncodeCall serializes a Call for the ring buffer.
+func EncodeCall(c Call) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(c); err != nil {
+		return nil, fmt.Errorf("framework: encode call: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeCall parses a serialized Call.
+func DecodeCall(b []byte) (Call, error) {
+	var c Call
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&c); err != nil {
+		return Call{}, fmt.Errorf("framework: decode call: %w", err)
+	}
+	return c, nil
+}
+
+// EncodeReply serializes a Reply.
+func EncodeReply(r Reply) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(r); err != nil {
+		return nil, fmt.Errorf("framework: encode reply: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeReply parses a serialized Reply.
+func DecodeReply(b []byte) (Reply, error) {
+	var r Reply
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&r); err != nil {
+		return Reply{}, fmt.Errorf("framework: decode reply: %w", err)
+	}
+	return r, nil
+}

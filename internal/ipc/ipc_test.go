@@ -1,0 +1,322 @@
+package ipc
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"freepart.dev/freepart/internal/vclock"
+)
+
+func TestRingFIFO(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 4; i++ {
+		if err := r.Send(Message{Seq: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		m, err := r.Recv()
+		if err != nil || m.Seq != uint64(i) {
+			t.Fatalf("recv %d = %v, %v", i, m.Seq, err)
+		}
+	}
+}
+
+func TestRingBlocksWhenFullThenDrains(t *testing.T) {
+	r := NewRing(1)
+	if err := r.Send(Message{Seq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- r.Send(Message{Seq: 2}) }()
+	// Wait until the producer has actually parked on the full ring.
+	for r.Stats().Blocked == 0 {
+		runtime.Gosched()
+	}
+	m, err := r.Recv()
+	if err != nil || m.Seq != 1 {
+		t.Fatalf("recv = %v, %v", m.Seq, err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	m, _ = r.Recv()
+	if m.Seq != 2 {
+		t.Fatalf("second recv = %d", m.Seq)
+	}
+	if r.Stats().Blocked == 0 {
+		t.Fatal("blocked counter should record the futex wait")
+	}
+}
+
+func TestRingTrySend(t *testing.T) {
+	r := NewRing(1)
+	ok, err := r.TrySend(Message{Seq: 1})
+	if !ok || err != nil {
+		t.Fatalf("TrySend = %v, %v", ok, err)
+	}
+	ok, err = r.TrySend(Message{Seq: 2})
+	if ok || err != nil {
+		t.Fatalf("full TrySend = %v, %v", ok, err)
+	}
+	r.Close()
+	if _, err := r.TrySend(Message{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("closed TrySend err = %v", err)
+	}
+}
+
+func TestRingCloseDrains(t *testing.T) {
+	r := NewRing(4)
+	_ = r.Send(Message{Seq: 9})
+	r.Close()
+	if err := r.Send(Message{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("send after close = %v", err)
+	}
+	m, err := r.Recv()
+	if err != nil || m.Seq != 9 {
+		t.Fatalf("queued message should survive close: %v %v", m.Seq, err)
+	}
+	if _, err := r.Recv(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("drained closed recv = %v", err)
+	}
+}
+
+func TestRingCloseWakesBlockedReceiver(t *testing.T) {
+	r := NewRing(1)
+	done := make(chan error, 1)
+	go func() {
+		_, err := r.Recv()
+		done <- err
+	}()
+	r.Close()
+	if err := <-done; !errors.Is(err, ErrClosed) {
+		t.Fatalf("blocked recv woke with %v", err)
+	}
+}
+
+func TestRingStatsBytes(t *testing.T) {
+	r := NewRing(4)
+	_ = r.Send(Message{Payload: make([]byte, 100)})
+	st := r.Stats()
+	if st.Messages != 1 || st.Bytes != 116 { // 16-byte header
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestRingConcurrentProducersConsumers(t *testing.T) {
+	r := NewRing(8)
+	const producers, per = 4, 250
+	var wg sync.WaitGroup
+	for i := 0; i < producers; i++ {
+		wg.Add(1)
+		go func(base int) {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				_ = r.Send(Message{Seq: uint64(base*per + j)})
+			}
+		}(i)
+	}
+	seen := make(map[uint64]bool)
+	var mu sync.Mutex
+	var cg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		cg.Add(1)
+		go func() {
+			defer cg.Done()
+			for {
+				m, err := r.Recv()
+				if err != nil {
+					return
+				}
+				mu.Lock()
+				seen[m.Seq] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	r.Close()
+	cg.Wait()
+	if len(seen) != producers*per {
+		t.Fatalf("received %d distinct messages, want %d", len(seen), producers*per)
+	}
+}
+
+func TestDefaultCapacity(t *testing.T) {
+	if NewRing(0).Cap() != DefaultRingCapacity || NewRing(-3).Cap() != DefaultRingCapacity {
+		t.Fatal("non-positive capacity should use default")
+	}
+}
+
+// echoConn starts a server that echoes payloads with kind prepended.
+func echoConn(t *testing.T) *Conn {
+	t.Helper()
+	c := NewConn(8, nil, vclock.CostModel{})
+	go c.Serve(func(kind uint32, p []byte) ([]byte, error) {
+		return append([]byte{byte(kind)}, p...), nil
+	})
+	t.Cleanup(c.Close)
+	return c
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	c := echoConn(t)
+	out, err := c.Call(7, []byte("abc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, append([]byte{7}, []byte("abc")...)) {
+		t.Fatalf("out = %v", out)
+	}
+	st := c.Stats()
+	if st.Calls != 1 || st.BytesRequest != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCallApplicationError(t *testing.T) {
+	c := NewConn(8, nil, vclock.CostModel{})
+	go c.Serve(func(kind uint32, p []byte) ([]byte, error) {
+		return nil, fmt.Errorf("bad input %q", p)
+	})
+	defer c.Close()
+	_, err := c.Call(1, []byte("x"))
+	if err == nil || err.Error() != `bad input "x"` {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCallCrashPropagates(t *testing.T) {
+	c := NewConn(8, nil, vclock.CostModel{})
+	go c.Serve(func(kind uint32, p []byte) ([]byte, error) {
+		return nil, fmt.Errorf("%w: segfault in imread", ErrAgentCrashed)
+	})
+	defer c.Close()
+	_, err := c.Call(1, nil)
+	if !errors.Is(err, ErrAgentCrashed) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRetryDedup(t *testing.T) {
+	// The server executes a side-effecting handler; a Retry with the same
+	// sequence must be answered from the cache without re-executing —
+	// the exactly-once guarantee of §4.3.
+	var executions int
+	var mu sync.Mutex
+	c := NewConn(8, nil, vclock.CostModel{})
+	go c.Serve(func(kind uint32, p []byte) ([]byte, error) {
+		mu.Lock()
+		executions++
+		mu.Unlock()
+		return []byte("done"), nil
+	})
+	defer c.Close()
+
+	out, err := c.Call(1, []byte("req"))
+	if err != nil || string(out) != "done" {
+		t.Fatalf("call = %q, %v", out, err)
+	}
+	seq := c.LastSeq()
+	out, err = c.Retry(seq, 1, []byte("req"))
+	if err != nil || string(out) != "done" {
+		t.Fatalf("retry = %q, %v", out, err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if executions != 1 {
+		t.Fatalf("handler executed %d times, want 1 (exactly-once)", executions)
+	}
+	if c.Stats().Dedups != 1 || c.Stats().Retries != 1 {
+		t.Fatalf("stats = %+v", c.Stats())
+	}
+}
+
+func TestRetryAfterCrashReexecutes(t *testing.T) {
+	// First attempt crashes before completing; the retry must execute —
+	// the at-least-once path of §4.4.2.
+	var attempts int
+	var mu sync.Mutex
+	c := NewConn(8, nil, vclock.CostModel{})
+	go c.Serve(func(kind uint32, p []byte) ([]byte, error) {
+		mu.Lock()
+		attempts++
+		n := attempts
+		mu.Unlock()
+		if n == 1 {
+			return nil, fmt.Errorf("%w: first try dies", ErrAgentCrashed)
+		}
+		return []byte("ok"), nil
+	})
+	defer c.Close()
+
+	_, err := c.Call(5, nil)
+	if !errors.Is(err, ErrAgentCrashed) {
+		t.Fatalf("first call err = %v", err)
+	}
+	out, err := c.Retry(c.LastSeq(), 5, nil)
+	if err != nil || string(out) != "ok" {
+		t.Fatalf("retry = %q, %v", out, err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if attempts != 2 {
+		t.Fatalf("attempts = %d, want 2", attempts)
+	}
+}
+
+func TestCallChargesVirtualTime(t *testing.T) {
+	clk := vclock.New()
+	c := NewConn(8, clk, vclock.Default())
+	go c.Serve(func(kind uint32, p []byte) ([]byte, error) { return p, nil })
+	defer c.Close()
+	small, _ := c.Call(1, make([]byte, 16))
+	_ = small
+	afterSmall := clk.Now()
+	_, _ = c.Call(1, make([]byte, 1<<20))
+	afterBig := clk.Now() - afterSmall
+	if afterBig <= afterSmall {
+		t.Fatalf("1MiB call (%v) should cost more than 16B call (%v)", afterBig, afterSmall)
+	}
+}
+
+func TestDedupCacheEviction(t *testing.T) {
+	c := NewConn(8, nil, vclock.CostModel{})
+	c.doneCap = 4
+	go c.Serve(func(kind uint32, p []byte) ([]byte, error) { return p, nil })
+	defer c.Close()
+	for i := 0; i < 10; i++ {
+		if _, err := c.Call(0, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.done) > 4 {
+		t.Fatalf("dedup cache grew to %d entries, cap 4", len(c.done))
+	}
+}
+
+func TestCallSeqProperty(t *testing.T) {
+	// Sequence numbers strictly increase and responses match requests.
+	c := echoConn(t)
+	prev := uint64(0)
+	f := func(b byte) bool {
+		out, err := c.Call(uint32(b), []byte{b})
+		if err != nil {
+			return false
+		}
+		seq := c.LastSeq()
+		ok := seq > prev && len(out) == 2 && out[0] == b && out[1] == b
+		prev = seq
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,150 @@
+// Package ipc implements the inter-process communication substrate:
+// fixed-capacity shared-memory-style ring buffers and a request/response
+// RPC layer with exactly-once delivery.
+//
+// The paper's prototype moves API requests between the host and agent
+// processes over shared-memory ring buffers synchronized with futexes
+// (§4.3, footnote 8). This package reproduces the same structure — bounded
+// rings, blocking producers/consumers, per-channel byte accounting — using
+// condition variables as the futex stand-in, and layers the paper's RPC
+// semantics on top: exactly-once in normal operation (§4.3) and
+// at-least-once across agent restarts (§4.4.2).
+package ipc
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrClosed is returned by operations on a closed ring.
+var ErrClosed = errors.New("ipc: ring closed")
+
+// Message is one framed transfer over a ring.
+type Message struct {
+	// Seq is the request sequence number (RPC layer).
+	Seq uint64
+	// Kind is an application tag (e.g. API id).
+	Kind uint32
+	// Payload is the marshalled body.
+	Payload []byte
+}
+
+// size returns the accounted size of the message in bytes (header+payload),
+// approximating the wire framing of the shared-memory ring.
+func (m Message) size() int { return 16 + len(m.Payload) }
+
+// RingStats counts traffic through one ring.
+type RingStats struct {
+	Messages uint64
+	Bytes    uint64
+	Blocked  uint64 // times a producer or consumer had to wait (futex waits)
+}
+
+// Ring is a bounded FIFO of messages. Send blocks when full, Recv blocks
+// when empty — the behaviour of a shared-memory ring with futex wakeups.
+// Safe for concurrent use by multiple producers and consumers.
+type Ring struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	buf    []Message
+	head   int
+	count  int
+	closed bool
+	stats  RingStats
+}
+
+// DefaultRingCapacity is used when NewRing is given a non-positive capacity.
+const DefaultRingCapacity = 64
+
+// NewRing creates a ring holding up to capacity in-flight messages.
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = DefaultRingCapacity
+	}
+	r := &Ring{buf: make([]Message, capacity)}
+	r.cond = sync.NewCond(&r.mu)
+	return r
+}
+
+// Cap returns the ring's capacity.
+func (r *Ring) Cap() int { return len(r.buf) }
+
+// Len returns the number of queued messages.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.count
+}
+
+// Send enqueues m, blocking while the ring is full. Returns ErrClosed if
+// the ring is (or becomes) closed.
+func (r *Ring) Send(m Message) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for r.count == len(r.buf) && !r.closed {
+		r.stats.Blocked++
+		r.cond.Wait()
+	}
+	if r.closed {
+		return ErrClosed
+	}
+	r.buf[(r.head+r.count)%len(r.buf)] = m
+	r.count++
+	r.stats.Messages++
+	r.stats.Bytes += uint64(m.size())
+	r.cond.Broadcast()
+	return nil
+}
+
+// TrySend enqueues without blocking; ok is false when the ring is full.
+func (r *Ring) TrySend(m Message) (bool, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return false, ErrClosed
+	}
+	if r.count == len(r.buf) {
+		return false, nil
+	}
+	r.buf[(r.head+r.count)%len(r.buf)] = m
+	r.count++
+	r.stats.Messages++
+	r.stats.Bytes += uint64(m.size())
+	r.cond.Broadcast()
+	return true, nil
+}
+
+// Recv dequeues the oldest message, blocking while the ring is empty.
+// Returns ErrClosed once the ring is closed and drained.
+func (r *Ring) Recv() (Message, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for r.count == 0 && !r.closed {
+		r.stats.Blocked++
+		r.cond.Wait()
+	}
+	if r.count == 0 && r.closed {
+		return Message{}, ErrClosed
+	}
+	m := r.buf[r.head]
+	r.buf[r.head] = Message{}
+	r.head = (r.head + 1) % len(r.buf)
+	r.count--
+	r.cond.Broadcast()
+	return m, nil
+}
+
+// Close wakes all blocked parties. Queued messages remain receivable.
+func (r *Ring) Close() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.closed = true
+	r.cond.Broadcast()
+}
+
+// Stats returns a snapshot of traffic counters.
+func (r *Ring) Stats() RingStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}

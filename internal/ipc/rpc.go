@@ -1,0 +1,202 @@
+package ipc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"freepart.dev/freepart/internal/vclock"
+)
+
+// ErrAgentCrashed is returned by Call when the serving side crashed while
+// executing the request. The caller (FreePart's restart supervisor) decides
+// whether to retry, giving at-least-once semantics.
+var ErrAgentCrashed = errors.New("ipc: agent crashed during request")
+
+// Handler executes one request and returns the response payload.
+// Returning an error wrapped around ErrAgentCrashed signals that the agent
+// process died mid-request.
+type Handler func(kind uint32, payload []byte) ([]byte, error)
+
+// CallStats counts RPC activity on a Conn.
+type CallStats struct {
+	Calls         uint64 // round trips issued
+	Retries       uint64 // re-sent requests after a crash
+	Dedups        uint64 // duplicate requests absorbed by the server cache
+	BytesRequest  uint64
+	BytesResponse uint64
+}
+
+// Conn is a bidirectional RPC connection between the host process and one
+// agent process, built on two rings. The server side runs in its own
+// goroutine (Serve); the client side issues synchronous Calls.
+//
+// Exactly-once: every request carries a sequence number; the server caches
+// the response to each sequence it has completed, so a retried request
+// (sent because the client saw a crash after the agent may or may not have
+// finished) is answered from the cache instead of re-executed. Stateless
+// re-execution after a genuine crash is the documented at-least-once path.
+type Conn struct {
+	req  *Ring
+	resp *Ring
+
+	clock *vclock.Clock
+	cost  vclock.CostModel
+
+	seq atomic.Uint64
+
+	mu      sync.Mutex
+	stats   CallStats
+	done    map[uint64][]byte // server-side dedup cache
+	doneCap int
+	order   []uint64 // insertion order for cache eviction
+}
+
+// NewConn creates a connection with the given ring capacity. clock may be
+// nil to skip virtual-time charging (unit tests).
+func NewConn(capacity int, clock *vclock.Clock, cost vclock.CostModel) *Conn {
+	return &Conn{
+		req:     NewRing(capacity),
+		resp:    NewRing(capacity),
+		clock:   clock,
+		cost:    cost,
+		done:    make(map[uint64][]byte),
+		doneCap: 1024,
+	}
+}
+
+// respKindOK and respKindCrash tag server responses.
+const (
+	respKindOK uint32 = iota
+	respKindCrash
+)
+
+// Serve runs the server loop: receive, execute (with dedup), respond.
+// It returns when the request ring is closed. Run it in a goroutine.
+func (c *Conn) Serve(h Handler) {
+	for {
+		m, err := c.req.Recv()
+		if err != nil {
+			return
+		}
+		c.mu.Lock()
+		cached, dup := c.done[m.Seq]
+		if dup {
+			c.stats.Dedups++
+		}
+		c.mu.Unlock()
+		if dup {
+			_ = c.resp.Send(Message{Seq: m.Seq, Kind: respKindOK, Payload: cached})
+			continue
+		}
+		out, err := h(m.Kind, m.Payload)
+		if err != nil && errors.Is(err, ErrAgentCrashed) {
+			_ = c.resp.Send(Message{Seq: m.Seq, Kind: respKindCrash, Payload: []byte(err.Error())})
+			continue
+		}
+		if err != nil {
+			// Application-level errors travel as payloads; the RPC layer
+			// only distinguishes success from crash.
+			out = append([]byte("!"), []byte(err.Error())...)
+		} else {
+			out = append([]byte("="), out...)
+		}
+		c.remember(m.Seq, out)
+		_ = c.resp.Send(Message{Seq: m.Seq, Kind: respKindOK, Payload: out})
+	}
+}
+
+// remember stores a completed response for dedup, evicting oldest entries.
+func (c *Conn) remember(seq uint64, out []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.done[seq]; ok {
+		return
+	}
+	c.done[seq] = out
+	c.order = append(c.order, seq)
+	for len(c.order) > c.doneCap {
+		delete(c.done, c.order[0])
+		c.order = c.order[1:]
+	}
+}
+
+// Call issues one request and blocks for its response, charging the IPC
+// round-trip plus per-byte copy costs to the virtual clock. Application
+// errors returned by the handler come back as errors; a crash comes back
+// as ErrAgentCrashed.
+func (c *Conn) Call(kind uint32, payload []byte) ([]byte, error) {
+	seq := c.seq.Add(1)
+	return c.callSeq(seq, kind, payload, false)
+}
+
+// Retry re-issues a call with its original sequence number after a crash;
+// if the agent had already completed it, the dedup cache answers.
+func (c *Conn) Retry(seq uint64, kind uint32, payload []byte) ([]byte, error) {
+	return c.callSeq(seq, kind, payload, true)
+}
+
+// LastSeq returns the most recently assigned sequence number.
+func (c *Conn) LastSeq() uint64 { return c.seq.Load() }
+
+func (c *Conn) callSeq(seq uint64, kind uint32, payload []byte, retry bool) ([]byte, error) {
+	if err := c.req.Send(Message{Seq: seq, Kind: kind, Payload: payload}); err != nil {
+		return nil, err
+	}
+	for {
+		m, err := c.resp.Recv()
+		if err != nil {
+			return nil, err
+		}
+		if m.Seq != seq {
+			// A response for an abandoned request (e.g. a crash retry
+			// overtaking a stale completion); drop it.
+			continue
+		}
+		c.mu.Lock()
+		c.stats.Calls++
+		if retry {
+			c.stats.Retries++
+		}
+		c.stats.BytesRequest += uint64(len(payload))
+		c.stats.BytesResponse += uint64(len(m.Payload))
+		c.mu.Unlock()
+		if c.clock != nil {
+			c.clock.Advance(c.cost.IPCRoundTrip)
+			c.clock.Advance(c.cost.CopyCost(len(payload) + len(m.Payload)))
+		}
+		if m.Kind == respKindCrash {
+			return nil, fmt.Errorf("%w: %s", ErrAgentCrashed, m.Payload)
+		}
+		if len(m.Payload) == 0 {
+			return nil, errors.New("ipc: malformed empty response")
+		}
+		switch m.Payload[0] {
+		case '=':
+			return m.Payload[1:], nil
+		case '!':
+			return nil, errors.New(string(m.Payload[1:]))
+		default:
+			return nil, fmt.Errorf("ipc: malformed response tag %q", m.Payload[0])
+		}
+	}
+}
+
+// Stats returns a snapshot of the RPC counters.
+func (c *Conn) Stats() CallStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// RingStats returns traffic counters for the two underlying rings.
+func (c *Conn) RingStats() (req, resp RingStats) {
+	return c.req.Stats(), c.resp.Stats()
+}
+
+// Close shuts down both rings, terminating Serve.
+func (c *Conn) Close() {
+	c.req.Close()
+	c.resp.Close()
+}

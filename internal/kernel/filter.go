@@ -1,0 +1,121 @@
+package kernel
+
+import (
+	"fmt"
+	"sort"
+)
+
+// FilterAction is what the filter does with a violating syscall, mirroring
+// seccomp-BPF return actions.
+type FilterAction uint8
+
+const (
+	// ActionKill terminates the offending process (SECCOMP_RET_KILL), the
+	// default FreePart policy: a denied syscall means a compromised agent.
+	ActionKill FilterAction = iota
+	// ActionErrno fails the syscall with EPERM but lets the process live.
+	ActionErrno
+)
+
+// String names the action.
+func (a FilterAction) String() string {
+	if a == ActionKill {
+		return "kill"
+	}
+	return "errno"
+}
+
+// Filter is a seccomp-style syscall filter attached to a process.
+//
+// Semantics: when not installed, everything is allowed (the paper's
+// initialization grace period — security-critical calls like mprotect and
+// connect are needed once during startup, §4.4.1). Install locks the
+// allowlist; with NoNewPrivs set, any later attempt to re-install or relax
+// the filter is itself a violation.
+type Filter struct {
+	installed  bool
+	noNewPrivs bool
+	action     FilterAction
+	allowed    map[Sysno]bool
+	// fdRules restricts fd-scoped syscalls (ioctl, connect, select, fcntl)
+	// to a set of resource labels (e.g. "/dev/camera0", "host:gui").
+	// A syscall present in allowed but absent from fdRules is unrestricted;
+	// present in both, the target label must match.
+	fdRules map[Sysno]map[string]bool
+}
+
+// NewFilter returns an uninstalled (allow-everything) filter.
+func NewFilter() *Filter {
+	return &Filter{
+		allowed: make(map[Sysno]bool),
+		fdRules: make(map[Sysno]map[string]bool),
+	}
+}
+
+// Allow adds syscalls to the allowlist. Calling Allow after Install under
+// NoNewPrivs is rejected.
+func (f *Filter) Allow(calls ...Sysno) error {
+	if f.installed && f.noNewPrivs {
+		return fmt.Errorf("seccomp: filter locked by PR_SET_NO_NEW_PRIVS")
+	}
+	for _, c := range calls {
+		f.allowed[c] = true
+	}
+	return nil
+}
+
+// RestrictFD limits an fd-scoped syscall to the given resource labels.
+func (f *Filter) RestrictFD(call Sysno, labels ...string) error {
+	if f.installed && f.noNewPrivs {
+		return fmt.Errorf("seccomp: filter locked by PR_SET_NO_NEW_PRIVS")
+	}
+	m := f.fdRules[call]
+	if m == nil {
+		m = make(map[string]bool)
+		f.fdRules[call] = m
+	}
+	for _, l := range labels {
+		m[l] = true
+	}
+	return nil
+}
+
+// Install activates the filter with the given action and sets NoNewPrivs so
+// that subsequent modification attempts fail (the paper's anti-tamper
+// measure).
+func (f *Filter) Install(action FilterAction) {
+	f.installed = true
+	f.noNewPrivs = true
+	f.action = action
+}
+
+// Installed reports whether the filter is active.
+func (f *Filter) Installed() bool { return f.installed }
+
+// Action returns the configured violation action.
+func (f *Filter) Action() FilterAction { return f.action }
+
+// Allowed reports whether the filter permits the syscall against the given
+// resource label ("" when the call is not fd-scoped or has no target).
+func (f *Filter) Allowed(call Sysno, label string) bool {
+	if !f.installed {
+		return true
+	}
+	if !f.allowed[call] {
+		return false
+	}
+	if rules, ok := f.fdRules[call]; ok && len(rules) > 0 {
+		return rules[label]
+	}
+	return true
+}
+
+// AllowedList returns the sorted allowlist, for reports (Table 7).
+func (f *Filter) AllowedList() []Sysno {
+	out := make([]Sysno, 0, len(f.allowed))
+	for c := range f.allowed {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,102 @@
+package kernel
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// FS is the simulated in-memory filesystem shared by all processes.
+// It stores whole files; paths are flat strings with '/' separators.
+type FS struct {
+	mu    sync.RWMutex
+	files map[string][]byte
+	dirs  map[string]bool
+}
+
+// NewFS returns an empty filesystem with a root directory.
+func NewFS() *FS {
+	return &FS{
+		files: make(map[string][]byte),
+		dirs:  map[string]bool{"/": true},
+	}
+}
+
+// WriteFile creates or replaces a file.
+func (fs *FS) WriteFile(path string, data []byte) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.files[path] = append([]byte(nil), data...)
+}
+
+// ReadFile returns a copy of the file's contents.
+func (fs *FS) ReadFile(path string) ([]byte, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	data, ok := fs.files[path]
+	if !ok {
+		return nil, fmt.Errorf("fs: no such file: %s", path)
+	}
+	return append([]byte(nil), data...), nil
+}
+
+// AppendFile appends to a file, creating it if absent.
+func (fs *FS) AppendFile(path string, data []byte) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.files[path] = append(fs.files[path], data...)
+}
+
+// Remove deletes a file.
+func (fs *FS) Remove(path string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, ok := fs.files[path]; !ok {
+		return fmt.Errorf("fs: no such file: %s", path)
+	}
+	delete(fs.files, path)
+	return nil
+}
+
+// Mkdir records a directory.
+func (fs *FS) Mkdir(path string) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.dirs[path] = true
+}
+
+// Exists reports whether path names a file or directory.
+func (fs *FS) Exists(path string) bool {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	if _, ok := fs.files[path]; ok {
+		return true
+	}
+	return fs.dirs[path]
+}
+
+// Size returns the file's length in bytes, or -1 if absent.
+func (fs *FS) Size(path string) int {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	data, ok := fs.files[path]
+	if !ok {
+		return -1
+	}
+	return len(data)
+}
+
+// List returns all file paths under the given prefix, sorted.
+func (fs *FS) List(prefix string) []string {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	var out []string
+	for p := range fs.files {
+		if strings.HasPrefix(p, prefix) {
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,57 @@
+// Package mem implements the simulated memory substrate: page-granular
+// address spaces with enforceable access permissions.
+//
+// FreePart's temporal data protection relies on mprotect(2)-style page
+// permissions. The Go runtime cannot tolerate mprotect on its own heap (the
+// garbage collector scans and moves memory), so this package provides a
+// software MMU instead: every framework buffer lives inside an AddressSpace
+// and every access goes through Load/Store, which check the page table and
+// raise a Fault on violation — exactly the behaviour a hardware page fault
+// would have under the paper's prototype.
+package mem
+
+import "strings"
+
+// Perm is a page permission bitmask.
+type Perm uint8
+
+// Permission bits, mirroring PROT_READ/PROT_WRITE/PROT_EXEC.
+const (
+	PermNone Perm = 0
+	PermRead Perm = 1 << iota
+	PermWrite
+	PermExec
+)
+
+// PermRW is the default permission for freshly allocated data pages.
+const PermRW = PermRead | PermWrite
+
+// CanRead reports whether the permission allows loads.
+func (p Perm) CanRead() bool { return p&PermRead != 0 }
+
+// CanWrite reports whether the permission allows stores.
+func (p Perm) CanWrite() bool { return p&PermWrite != 0 }
+
+// CanExec reports whether the permission allows instruction fetch.
+func (p Perm) CanExec() bool { return p&PermExec != 0 }
+
+// String renders the permission in ls -l style, e.g. "rw-" or "r-x".
+func (p Perm) String() string {
+	var b strings.Builder
+	if p.CanRead() {
+		b.WriteByte('r')
+	} else {
+		b.WriteByte('-')
+	}
+	if p.CanWrite() {
+		b.WriteByte('w')
+	} else {
+		b.WriteByte('-')
+	}
+	if p.CanExec() {
+		b.WriteByte('x')
+	} else {
+		b.WriteByte('-')
+	}
+	return b.String()
+}

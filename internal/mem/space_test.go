@@ -1,0 +1,369 @@
+package mem
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocZeroed(t *testing.T) {
+	s := NewSpace()
+	r, err := s.Alloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Load(r.Base, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range got {
+		if b != 0 {
+			t.Fatalf("byte %d = %d, want 0", i, b)
+		}
+	}
+}
+
+func TestAllocInvalidSize(t *testing.T) {
+	s := NewSpace()
+	if _, err := s.Alloc(0); err == nil {
+		t.Fatal("Alloc(0) should fail")
+	}
+	if _, err := s.Alloc(-1); err == nil {
+		t.Fatal("Alloc(-1) should fail")
+	}
+}
+
+func TestAllocPageAligned(t *testing.T) {
+	s := NewSpace()
+	a, _ := s.Alloc(10)
+	b, _ := s.Alloc(10)
+	if uint64(a.Base)%PageSize != 0 || uint64(b.Base)%PageSize != 0 {
+		t.Fatalf("allocations not page aligned: %#x, %#x", a.Base, b.Base)
+	}
+	if a.Base.PageIndex() == b.Base.PageIndex() {
+		t.Fatal("separate allocations share a page")
+	}
+}
+
+func TestStoreLoadRoundTrip(t *testing.T) {
+	s := NewSpace()
+	r, _ := s.Alloc(10000) // spans multiple pages
+	data := make([]byte, 10000)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	if err := s.Store(r.Base, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Load(r.Base, len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestStoreLoadRoundTripProperty(t *testing.T) {
+	s := NewSpace()
+	r, _ := s.Alloc(1 << 16)
+	f := func(data []byte, off uint16) bool {
+		if len(data) == 0 {
+			return true
+		}
+		o := int(off) % (1<<16 - len(data))
+		if o < 0 {
+			o = 0
+		}
+		addr := r.Base + Addr(o)
+		if err := s.Store(addr, data); err != nil {
+			return false
+		}
+		got, err := s.Load(addr, len(data))
+		return err == nil && bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnmappedAccessFaults(t *testing.T) {
+	s := NewSpace()
+	_, err := s.Load(0x10, 1) // page zero is never mapped
+	f, ok := IsFault(err)
+	if !ok {
+		t.Fatalf("want Fault, got %v", err)
+	}
+	if f.Mapped {
+		t.Fatal("fault should report unmapped")
+	}
+	if f.Kind != AccessRead {
+		t.Fatalf("fault kind = %v, want read", f.Kind)
+	}
+}
+
+func TestReadOnlyProtection(t *testing.T) {
+	s := NewSpace()
+	r, _ := s.Alloc(PageSize * 2)
+	if err := s.Store(r.Base, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ProtectRegion(r, PermRead); err != nil {
+		t.Fatal(err)
+	}
+	// Reads still work.
+	got, err := s.Load(r.Base, 5)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("read after protect: %q, %v", got, err)
+	}
+	// Writes fault.
+	err = s.Store(r.Base, []byte("x"))
+	f, ok := IsFault(err)
+	if !ok {
+		t.Fatalf("want write fault, got %v", err)
+	}
+	if f.Kind != AccessWrite || !f.Mapped {
+		t.Fatalf("fault = %+v, want mapped write fault", f)
+	}
+	// Restore and write again.
+	if _, err := s.ProtectRegion(r, PermRW); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Store(r.Base, []byte("x")); err != nil {
+		t.Fatalf("write after unprotect: %v", err)
+	}
+}
+
+func TestProtectPageCount(t *testing.T) {
+	s := NewSpace()
+	r, _ := s.Alloc(PageSize*3 - 1)
+	n, err := s.ProtectRegion(r, PermRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("protected %d pages, want 3", n)
+	}
+}
+
+func TestProtectUnmappedFails(t *testing.T) {
+	s := NewSpace()
+	if _, err := s.Protect(Addr(1<<20), PageSize, PermRead); err == nil {
+		t.Fatal("protect of unmapped page should fail")
+	}
+}
+
+func TestNoReadPermFaults(t *testing.T) {
+	s := NewSpace()
+	r, _ := s.Alloc(PageSize)
+	if _, err := s.ProtectRegion(r, PermNone); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Load(r.Base, 1); err == nil {
+		t.Fatal("read of PROT_NONE page should fault")
+	}
+	if err := s.Store(r.Base, []byte{1}); err == nil {
+		t.Fatal("write of PROT_NONE page should fault")
+	}
+}
+
+func TestExecPermission(t *testing.T) {
+	s := NewSpace()
+	r, _ := s.Alloc(PageSize)
+	if _, err := s.Exec(r.Base, 4); err == nil {
+		t.Fatal("exec of rw- page should fault")
+	}
+	if _, err := s.ProtectRegion(r, PermRead|PermExec); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exec(r.Base, 4); err != nil {
+		t.Fatalf("exec of r-x page: %v", err)
+	}
+}
+
+func TestFreeUnmaps(t *testing.T) {
+	s := NewSpace()
+	r, _ := s.Alloc(PageSize)
+	if err := s.Free(r); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Load(r.Base, 1); err == nil {
+		t.Fatal("read of freed region should fault")
+	}
+	if got := len(s.Regions()); got != 0 {
+		t.Fatalf("regions after free = %d, want 0", got)
+	}
+}
+
+func TestRegionOf(t *testing.T) {
+	s := NewSpace()
+	r, _ := s.Alloc(100)
+	got, ok := s.RegionOf(r.Base + 50)
+	if !ok || got.Base != r.Base {
+		t.Fatalf("RegionOf = %+v, %v", got, ok)
+	}
+	if _, ok := s.RegionOf(r.End() + PageSize); ok {
+		t.Fatal("RegionOf outside any region should report false")
+	}
+}
+
+func TestRegionOverlaps(t *testing.T) {
+	a := Region{Base: 0x1000, Size: 0x1000}
+	b := Region{Base: 0x1800, Size: 0x1000}
+	c := Region{Base: 0x3000, Size: 0x1000}
+	if !a.Overlaps(b) || !b.Overlaps(a) {
+		t.Fatal("a and b should overlap")
+	}
+	if a.Overlaps(c) {
+		t.Fatal("a and c should not overlap")
+	}
+}
+
+func TestOutOfMemory(t *testing.T) {
+	s := NewSpace()
+	s.SetLimit(PageSize * 4)
+	if _, err := s.Alloc(PageSize * 2); err != nil {
+		t.Fatal(err)
+	}
+	_, err := s.Alloc(PageSize * 16)
+	if !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("want ErrOutOfMemory, got %v", err)
+	}
+}
+
+func TestCrossSpaceCopy(t *testing.T) {
+	a, b := NewSpace(), NewSpace()
+	ra, _ := a.Alloc(64)
+	rb, _ := b.Alloc(64)
+	want := []byte("isolation boundary crossing")
+	if err := a.Store(ra.Base, want); err != nil {
+		t.Fatal(err)
+	}
+	if err := Copy(b, rb.Base, a, ra.Base, len(want)); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := b.Load(rb.Base, len(want))
+	if !bytes.Equal(got, want) {
+		t.Fatalf("copy mismatch: %q", got)
+	}
+}
+
+func TestCrossSpaceCopyHonorsPerms(t *testing.T) {
+	a, b := NewSpace(), NewSpace()
+	ra, _ := a.Alloc(64)
+	rb, _ := b.Alloc(64)
+	if _, err := b.ProtectRegion(rb, PermRead); err != nil {
+		t.Fatal(err)
+	}
+	err := Copy(b, rb.Base, a, ra.Base, 8)
+	if _, ok := IsFault(err); !ok {
+		t.Fatalf("copy into read-only region should fault, got %v", err)
+	}
+}
+
+func TestSpacesAreIsolated(t *testing.T) {
+	// Writing in one space never changes another space's bytes, even at the
+	// same virtual address — the property FreePart's process isolation
+	// depends on.
+	a, b := NewSpace(), NewSpace()
+	ra, _ := a.Alloc(64)
+	rb, _ := b.Alloc(64)
+	if ra.Base != rb.Base {
+		t.Fatalf("expected identical layout, got %#x vs %#x", ra.Base, rb.Base)
+	}
+	if err := a.Store(ra.Base, []byte{0xAA}); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := b.LoadByte(rb.Base)
+	if got != 0 {
+		t.Fatalf("space b observed space a's write: %#x", got)
+	}
+}
+
+func TestStats(t *testing.T) {
+	s := NewSpace()
+	r, _ := s.Alloc(PageSize)
+	_ = s.Store(r.Base, []byte{1, 2, 3})
+	_, _ = s.Load(r.Base, 2)
+	_, _ = s.ProtectRegion(r, PermRead)
+	_ = s.Store(r.Base, []byte{9}) // faults
+	st := s.Stats()
+	if st.Stores != 1 || st.Loads != 1 || st.Protects != 1 || st.Faults != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.BytesStored != 3 || st.BytesLoaded != 2 {
+		t.Fatalf("byte stats = %+v", st)
+	}
+	if st.PagesMapped != 1 {
+		t.Fatalf("pages mapped = %d, want 1", st.PagesMapped)
+	}
+}
+
+func TestDistinctSpaceIDs(t *testing.T) {
+	if NewSpace().ID() == NewSpace().ID() {
+		t.Fatal("space ids must be unique")
+	}
+}
+
+func TestPermString(t *testing.T) {
+	cases := map[Perm]string{
+		PermNone:            "---",
+		PermRead:            "r--",
+		PermRW:              "rw-",
+		PermRead | PermExec: "r-x",
+		PermWrite:           "-w-",
+		PermRW | PermExec:   "rwx",
+	}
+	for p, want := range cases {
+		if got := p.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", p, got, want)
+		}
+	}
+}
+
+func TestFaultErrorStrings(t *testing.T) {
+	f := &Fault{Space: 3, Addr: 0x2000, Kind: AccessWrite, Perm: PermRead, Mapped: true}
+	if f.Error() == "" {
+		t.Fatal("empty error string")
+	}
+	u := &Fault{Space: 3, Addr: 0x2000, Kind: AccessRead}
+	if u.Error() == "" {
+		t.Fatal("empty unmapped error string")
+	}
+}
+
+func TestAllocReusesFreedSpans(t *testing.T) {
+	s := NewSpace()
+	s.SetLimit(PageSize * 8)
+	// Alloc/free far more than the limit would allow without reuse.
+	for i := 0; i < 64; i++ {
+		r, err := s.Alloc(PageSize)
+		if err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+		if err := s.Store(r.Base, []byte{0xAB}); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Free(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Reused pages come back zeroed.
+	r, _ := s.Alloc(PageSize)
+	b, _ := s.LoadByte(r.Base)
+	if b != 0 {
+		t.Fatalf("reused page not zeroed: %#x", b)
+	}
+}
+
+func TestFreedSpanSplit(t *testing.T) {
+	s := NewSpace()
+	big, _ := s.Alloc(PageSize * 4)
+	_ = s.Free(big)
+	a, _ := s.Alloc(PageSize)     // carves from the freed span
+	b, _ := s.Alloc(PageSize * 3) // takes the remainder
+	if a.Base != big.Base || b.Base != big.Base+PageSize {
+		t.Fatalf("split placement: a=%#x b=%#x big=%#x", a.Base, b.Base, big.Base)
+	}
+}

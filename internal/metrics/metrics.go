@@ -1,0 +1,150 @@
+// Package metrics collects the counters the evaluation tables are built
+// from: IPC round trips, bytes moved between processes, lazy vs eager data
+// copies (Table 12), permission flips, restarts, and syscall denials.
+package metrics
+
+import (
+	"fmt"
+	"sync"
+
+	"freepart.dev/freepart/internal/vclock"
+)
+
+// Counters accumulates runtime events. Safe for concurrent use.
+type Counters struct {
+	mu sync.Mutex
+
+	ipcCalls    uint64
+	bytesMoved  uint64
+	lazyCopies  uint64
+	eagerCopies uint64
+	permFlips   uint64
+	pagesFlip   uint64
+	restarts    uint64
+	denials     uint64
+	apiCalls    uint64
+	checkpoints uint64
+}
+
+// Snapshot is an immutable copy of the counters.
+type Snapshot struct {
+	IPCCalls    uint64
+	BytesMoved  uint64
+	LazyCopies  uint64
+	EagerCopies uint64
+	PermFlips   uint64
+	PagesFlip   uint64
+	Restarts    uint64
+	Denials     uint64
+	APICalls    uint64
+	Checkpoints uint64
+}
+
+// New creates zeroed counters.
+func New() *Counters { return &Counters{} }
+
+// AddIPC records one RPC round trip moving n payload bytes.
+func (c *Counters) AddIPC(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ipcCalls++
+	if n > 0 {
+		c.bytesMoved += uint64(n)
+	}
+}
+
+// AddLazyCopy records a direct agent-to-agent object copy of n bytes.
+func (c *Counters) AddLazyCopy(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.lazyCopies++
+	if n > 0 {
+		c.bytesMoved += uint64(n)
+	}
+}
+
+// AddEagerCopy records an object payload shipped through the host process.
+func (c *Counters) AddEagerCopy(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.eagerCopies++
+	if n > 0 {
+		c.bytesMoved += uint64(n)
+	}
+}
+
+// AddPermFlip records one mprotect covering pages pages.
+func (c *Counters) AddPermFlip(pages int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.permFlips++
+	if pages > 0 {
+		c.pagesFlip += uint64(pages)
+	}
+}
+
+// AddRestart records an agent restart.
+func (c *Counters) AddRestart() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.restarts++
+}
+
+// AddDenial records a syscall blocked by a filter.
+func (c *Counters) AddDenial() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.denials++
+}
+
+// AddAPICall records one framework API dispatch.
+func (c *Counters) AddAPICall() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.apiCalls++
+}
+
+// AddCheckpoint records one stateful-state checkpoint write.
+func (c *Counters) AddCheckpoint() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.checkpoints++
+}
+
+// Snapshot returns a copy of the counters.
+func (c *Counters) Snapshot() Snapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Snapshot{
+		IPCCalls: c.ipcCalls, BytesMoved: c.bytesMoved,
+		LazyCopies: c.lazyCopies, EagerCopies: c.eagerCopies,
+		PermFlips: c.permFlips, PagesFlip: c.pagesFlip,
+		Restarts: c.restarts, Denials: c.denials,
+		APICalls: c.apiCalls, Checkpoints: c.checkpoints,
+	}
+}
+
+// LazyFraction returns the share of copy operations that were lazy
+// (Table 12's 95.08%).
+func (s Snapshot) LazyFraction() float64 {
+	total := s.LazyCopies + s.EagerCopies
+	if total == 0 {
+		return 0
+	}
+	return float64(s.LazyCopies) / float64(total)
+}
+
+// String renders a one-line summary.
+func (s Snapshot) String() string {
+	return fmt.Sprintf("ipc=%d bytes=%d lazy=%d eager=%d flips=%d restarts=%d denials=%d",
+		s.IPCCalls, s.BytesMoved, s.LazyCopies, s.EagerCopies, s.PermFlips, s.Restarts, s.Denials)
+}
+
+// Overhead computes the relative slowdown of a protected run against an
+// unprotected baseline in virtual time, as a percentage (Fig. 13's 3.68%).
+func Overhead(base, protected vclock.Duration) float64 {
+	if base <= 0 {
+		return 0
+	}
+	return 100 * (float64(protected)/float64(base) - 1)
+}

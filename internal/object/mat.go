@@ -1,0 +1,142 @@
+package object
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"freepart.dev/freepart/internal/mem"
+)
+
+// Mat is an image matrix, modeled on OpenCV's cv::Mat: a header (shape)
+// plus a payload buffer in simulated memory holding row-major
+// rows×cols×channels bytes.
+type Mat struct {
+	rows, cols, channels int
+	space                *mem.AddressSpace
+	region               mem.Region
+}
+
+// NewMat allocates a zeroed rows×cols×channels image in space.
+func NewMat(space *mem.AddressSpace, rows, cols, channels int) (*Mat, error) {
+	if rows <= 0 || cols <= 0 || channels <= 0 {
+		return nil, fmt.Errorf("object: invalid mat shape %dx%dx%d", rows, cols, channels)
+	}
+	r, err := space.Alloc(rows * cols * channels)
+	if err != nil {
+		return nil, err
+	}
+	return &Mat{rows: rows, cols: cols, channels: channels, space: space, region: r}, nil
+}
+
+// MatFromBytes allocates a mat and fills it with data (len must equal
+// rows*cols*channels).
+func MatFromBytes(space *mem.AddressSpace, rows, cols, channels int, data []byte) (*Mat, error) {
+	if len(data) != rows*cols*channels {
+		return nil, fmt.Errorf("object: mat data %d bytes, shape wants %d", len(data), rows*cols*channels)
+	}
+	m, err := NewMat(space, rows, cols, channels)
+	if err != nil {
+		return nil, err
+	}
+	if err := space.Store(m.region.Base, data); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Kind implements Object.
+func (m *Mat) Kind() Kind { return KindMat }
+
+// Space implements Object.
+func (m *Mat) Space() *mem.AddressSpace { return m.space }
+
+// Region implements Object.
+func (m *Mat) Region() mem.Region { return m.region }
+
+// Rows returns the image height.
+func (m *Mat) Rows() int { return m.rows }
+
+// Cols returns the image width.
+func (m *Mat) Cols() int { return m.cols }
+
+// Channels returns the number of channels.
+func (m *Mat) Channels() int { return m.channels }
+
+// Size returns the payload size in bytes.
+func (m *Mat) Size() int { return m.rows * m.cols * m.channels }
+
+// Header encodes the shape for reconstruction after transfer.
+func (m *Mat) Header() []byte {
+	b := make([]byte, 0, 12)
+	b = binary.BigEndian.AppendUint32(b, uint32(m.rows))
+	b = binary.BigEndian.AppendUint32(b, uint32(m.cols))
+	b = binary.BigEndian.AppendUint32(b, uint32(m.channels))
+	return b
+}
+
+// MatShapeFromHeader decodes a Mat header.
+func MatShapeFromHeader(h []byte) (rows, cols, channels int, err error) {
+	if len(h) != 12 {
+		return 0, 0, 0, fmt.Errorf("object: bad mat header length %d", len(h))
+	}
+	return int(binary.BigEndian.Uint32(h[0:4])),
+		int(binary.BigEndian.Uint32(h[4:8])),
+		int(binary.BigEndian.Uint32(h[8:12])), nil
+}
+
+// offset computes the payload offset of a pixel channel.
+func (m *Mat) offset(row, col, ch int) (mem.Addr, error) {
+	if row < 0 || row >= m.rows || col < 0 || col >= m.cols || ch < 0 || ch >= m.channels {
+		return 0, fmt.Errorf("object: pixel (%d,%d,%d) out of %dx%dx%d", row, col, ch, m.rows, m.cols, m.channels)
+	}
+	return m.region.Base + mem.Addr((row*m.cols+col)*m.channels+ch), nil
+}
+
+// At reads one pixel channel through the MMU (permission-checked).
+func (m *Mat) At(row, col, ch int) (byte, error) {
+	a, err := m.offset(row, col, ch)
+	if err != nil {
+		return 0, err
+	}
+	return m.space.LoadByte(a)
+}
+
+// Set writes one pixel channel through the MMU (permission-checked).
+func (m *Mat) Set(row, col, ch int, v byte) error {
+	a, err := m.offset(row, col, ch)
+	if err != nil {
+		return err
+	}
+	return m.space.StoreByte(a, v)
+}
+
+// Row reads an entire row (all columns and channels).
+func (m *Mat) Row(row int) ([]byte, error) {
+	if row < 0 || row >= m.rows {
+		return nil, fmt.Errorf("object: row %d out of %d", row, m.rows)
+	}
+	return m.space.Load(m.region.Base+mem.Addr(row*m.cols*m.channels), m.cols*m.channels)
+}
+
+// SetRow writes an entire row.
+func (m *Mat) SetRow(row int, data []byte) error {
+	if row < 0 || row >= m.rows || len(data) != m.cols*m.channels {
+		return fmt.Errorf("object: bad row write")
+	}
+	return m.space.Store(m.region.Base+mem.Addr(row*m.cols*m.channels), data)
+}
+
+// CloneInto deep-copies the mat into dst (possibly a different space) —
+// the "deep copy of the object when its reference is passed" of §4.3.
+func (m *Mat) CloneInto(dst *mem.AddressSpace) (*Mat, error) {
+	data, err := PayloadBytes(m)
+	if err != nil {
+		return nil, err
+	}
+	return MatFromBytes(dst, m.rows, m.cols, m.channels, data)
+}
+
+// String describes the mat.
+func (m *Mat) String() string {
+	return fmt.Sprintf("Mat(%dx%dx%d @%#x)", m.rows, m.cols, m.channels, uint64(m.region.Base))
+}

@@ -1,0 +1,116 @@
+// Package object provides the data objects that flow through framework
+// APIs: images (Mat), tensors (Tensor), and raw buffers (Blob). Every
+// object's payload lives inside a simulated address space (internal/mem),
+// so page permissions and cross-process isolation apply to it for real.
+//
+// Objects are identified process-locally by an ID in a Table, and cross-
+// process by a Ref — the "object reference (without data)" of the paper's
+// lazy-data-copy design (Fig. 11): the owning process id plus a buffer
+// identifier and a content hash.
+package object
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+
+	"freepart.dev/freepart/internal/mem"
+)
+
+// Kind discriminates object types across the RPC boundary.
+type Kind uint8
+
+// Object kinds.
+const (
+	KindBlob Kind = iota
+	KindMat
+	KindTensor
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindBlob:
+		return "blob"
+	case KindMat:
+		return "mat"
+	case KindTensor:
+		return "tensor"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Object is a datum materialized in a simulated address space.
+type Object interface {
+	// Kind identifies the concrete type.
+	Kind() Kind
+	// Space is the address space holding the payload.
+	Space() *mem.AddressSpace
+	// Region is the payload's location.
+	Region() mem.Region
+	// Header returns the type-specific metadata (shape, etc.) used to
+	// reconstruct the object after a raw byte transfer.
+	Header() []byte
+}
+
+// PayloadBytes loads an object's full payload from its space. It fails with
+// a mem.Fault if the region is protected against reads.
+func PayloadBytes(o Object) ([]byte, error) {
+	r := o.Region()
+	return o.Space().Load(r.Base, r.Size)
+}
+
+// ContentHash hashes the object's payload (used in Refs so stale lazy
+// copies are detectable).
+func ContentHash(o Object) (uint64, error) {
+	b, err := PayloadBytes(o)
+	if err != nil {
+		return 0, err
+	}
+	h := fnv.New64a()
+	_, _ = h.Write(b)
+	return h.Sum64(), nil
+}
+
+// Ref is a cross-process object reference carrying no payload: the owning
+// process id, the buffer identifier within that process's Table, the
+// payload size, the kind, and the header needed to rebuild the object.
+type Ref struct {
+	PID    uint32
+	ID     uint64
+	Size   int
+	Kind   Kind
+	Hash   uint64
+	Header []byte
+}
+
+// Encode serializes the ref for transfer over a ring buffer.
+func (r Ref) Encode() []byte {
+	buf := make([]byte, 0, 29+len(r.Header))
+	buf = binary.BigEndian.AppendUint32(buf, r.PID)
+	buf = binary.BigEndian.AppendUint64(buf, r.ID)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(r.Size))
+	buf = append(buf, byte(r.Kind))
+	buf = binary.BigEndian.AppendUint64(buf, r.Hash)
+	buf = append(buf, r.Header...)
+	return buf
+}
+
+// DecodeRef parses an encoded ref.
+func DecodeRef(b []byte) (Ref, error) {
+	if len(b) < 29 {
+		return Ref{}, fmt.Errorf("object: short ref (%d bytes)", len(b))
+	}
+	r := Ref{
+		PID:  binary.BigEndian.Uint32(b[0:4]),
+		ID:   binary.BigEndian.Uint64(b[4:12]),
+		Size: int(binary.BigEndian.Uint64(b[12:20])),
+		Kind: Kind(b[20]),
+		Hash: binary.BigEndian.Uint64(b[21:29]),
+	}
+	if len(b) > 29 {
+		r.Header = append([]byte(nil), b[29:]...)
+	}
+	return r, nil
+}

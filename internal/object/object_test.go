@@ -1,0 +1,404 @@
+package object
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"freepart.dev/freepart/internal/mem"
+)
+
+func TestMatBasics(t *testing.T) {
+	s := mem.NewSpace()
+	m, err := NewMat(s, 4, 6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows() != 4 || m.Cols() != 6 || m.Channels() != 3 || m.Size() != 72 {
+		t.Fatalf("shape = %v", m)
+	}
+	if err := m.Set(2, 3, 1, 0x7F); err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.At(2, 3, 1)
+	if err != nil || v != 0x7F {
+		t.Fatalf("At = %v, %v", v, err)
+	}
+	if v, _ := m.At(0, 0, 0); v != 0 {
+		t.Fatal("untouched pixel should be zero")
+	}
+}
+
+func TestMatBounds(t *testing.T) {
+	s := mem.NewSpace()
+	m, _ := NewMat(s, 2, 2, 1)
+	for _, c := range [][3]int{{-1, 0, 0}, {2, 0, 0}, {0, 2, 0}, {0, 0, 1}} {
+		if _, err := m.At(c[0], c[1], c[2]); err == nil {
+			t.Fatalf("At(%v) should fail", c)
+		}
+		if err := m.Set(c[0], c[1], c[2], 1); err == nil {
+			t.Fatalf("Set(%v) should fail", c)
+		}
+	}
+}
+
+func TestMatInvalidShape(t *testing.T) {
+	s := mem.NewSpace()
+	for _, sh := range [][3]int{{0, 1, 1}, {1, -1, 1}, {1, 1, 0}} {
+		if _, err := NewMat(s, sh[0], sh[1], sh[2]); err == nil {
+			t.Fatalf("NewMat(%v) should fail", sh)
+		}
+	}
+	if _, err := MatFromBytes(s, 2, 2, 1, []byte{1, 2, 3}); err == nil {
+		t.Fatal("MatFromBytes with wrong length should fail")
+	}
+}
+
+func TestMatRowIO(t *testing.T) {
+	s := mem.NewSpace()
+	m, _ := NewMat(s, 3, 4, 2)
+	row := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	if err := m.SetRow(1, row); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Row(1)
+	if err != nil || !bytes.Equal(got, row) {
+		t.Fatalf("Row = %v, %v", got, err)
+	}
+	if _, err := m.Row(5); err == nil {
+		t.Fatal("out-of-range Row should fail")
+	}
+	if err := m.SetRow(0, []byte{1}); err == nil {
+		t.Fatal("short SetRow should fail")
+	}
+}
+
+func TestMatCloneIntoOtherSpace(t *testing.T) {
+	a, b := mem.NewSpace(), mem.NewSpace()
+	m, _ := NewMat(a, 2, 2, 1)
+	_ = m.Set(0, 0, 0, 42)
+	c, err := m.CloneInto(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Space() != b {
+		t.Fatal("clone should live in destination space")
+	}
+	v, _ := c.At(0, 0, 0)
+	if v != 42 {
+		t.Fatalf("clone pixel = %d", v)
+	}
+	// Mutating the clone leaves the original untouched (deep copy).
+	_ = c.Set(0, 0, 0, 7)
+	v, _ = m.At(0, 0, 0)
+	if v != 42 {
+		t.Fatal("deep copy violated")
+	}
+}
+
+func TestMatRespectsPermissions(t *testing.T) {
+	s := mem.NewSpace()
+	m, _ := NewMat(s, 8, 8, 1)
+	if _, err := s.ProtectRegion(m.Region(), mem.PermRead); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Set(0, 0, 0, 1); err == nil {
+		t.Fatal("Set on read-only mat should fault")
+	}
+	if _, err := m.At(0, 0, 0); err != nil {
+		t.Fatalf("At on read-only mat should work: %v", err)
+	}
+}
+
+func TestMatHeaderRoundTrip(t *testing.T) {
+	s := mem.NewSpace()
+	m, _ := NewMat(s, 5, 7, 3)
+	r, c, ch, err := MatShapeFromHeader(m.Header())
+	if err != nil || r != 5 || c != 7 || ch != 3 {
+		t.Fatalf("header round trip = %d,%d,%d,%v", r, c, ch, err)
+	}
+	if _, _, _, err := MatShapeFromHeader([]byte{1, 2}); err == nil {
+		t.Fatal("short header should fail")
+	}
+}
+
+func TestTensorBasics(t *testing.T) {
+	s := mem.NewSpace()
+	ten, err := NewTensor(s, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ten.Len() != 6 || ten.Size() != 48 {
+		t.Fatalf("len/size = %d/%d", ten.Len(), ten.Size())
+	}
+	if err := ten.Set(3.14, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	v, err := ten.At(1, 2)
+	if err != nil || v != 3.14 {
+		t.Fatalf("At = %v, %v", v, err)
+	}
+	if v, _ := ten.At(0, 0); v != 0 {
+		t.Fatal("untouched element should be zero")
+	}
+}
+
+func TestTensorBounds(t *testing.T) {
+	s := mem.NewSpace()
+	ten, _ := NewTensor(s, 2, 2)
+	if _, err := ten.At(2, 0); err == nil {
+		t.Fatal("out-of-range At should fail")
+	}
+	if err := ten.Set(1, 0); err == nil {
+		t.Fatal("wrong-arity Set should fail")
+	}
+	if _, err := ten.AtFlat(4); err == nil {
+		t.Fatal("out-of-range AtFlat should fail")
+	}
+	if err := ten.SetFlat(-1, 0); err == nil {
+		t.Fatal("negative SetFlat should fail")
+	}
+}
+
+func TestTensorInvalidShape(t *testing.T) {
+	s := mem.NewSpace()
+	if _, err := NewTensor(s); err == nil {
+		t.Fatal("empty shape should fail")
+	}
+	if _, err := NewTensor(s, 2, 0); err == nil {
+		t.Fatal("zero dim should fail")
+	}
+}
+
+func TestTensorFromValuesAndClone(t *testing.T) {
+	a, b := mem.NewSpace(), mem.NewSpace()
+	ten, err := TensorFromValues(a, []float64{1.5, -2.5, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := ten.CloneInto(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []float64{1.5, -2.5, 0} {
+		if v, _ := cl.AtFlat(i); v != want {
+			t.Fatalf("clone[%d] = %v, want %v", i, v, want)
+		}
+	}
+}
+
+func TestTensorHeaderRoundTrip(t *testing.T) {
+	s := mem.NewSpace()
+	ten, _ := NewTensor(s, 2, 3, 4)
+	shape, err := TensorShapeFromHeader(ten.Header())
+	if err != nil || len(shape) != 3 || shape[0] != 2 || shape[1] != 3 || shape[2] != 4 {
+		t.Fatalf("shape = %v, %v", shape, err)
+	}
+	if _, err := TensorShapeFromHeader([]byte{0}); err == nil {
+		t.Fatal("short tensor header should fail")
+	}
+}
+
+func TestTensorSetAtProperty(t *testing.T) {
+	s := mem.NewSpace()
+	ten, _ := NewTensor(s, 16)
+	f := func(i uint8, v float64) bool {
+		idx := int(i) % 16
+		if err := ten.SetFlat(idx, v); err != nil {
+			return false
+		}
+		got, err := ten.AtFlat(idx)
+		return err == nil && (got == v || (got != got && v != v)) // NaN-safe
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlob(t *testing.T) {
+	s := mem.NewSpace()
+	b, err := NewBlob(s, []byte("model weights"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Bytes()
+	if err != nil || string(got) != "model weights" {
+		t.Fatalf("Bytes = %q, %v", got, err)
+	}
+	if b.Size() != 13 || b.Kind() != KindBlob || b.Header() != nil {
+		t.Fatalf("blob metadata wrong: %d %v", b.Size(), b.Kind())
+	}
+	if _, err := NewBlob(s, nil); err == nil {
+		t.Fatal("empty blob should fail")
+	}
+	c, err := b.CloneInto(mem.NewSpace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, _ := c.Bytes()
+	if string(cb) != "model weights" {
+		t.Fatal("blob clone mismatch")
+	}
+}
+
+func TestTablePutGetDelete(t *testing.T) {
+	s := mem.NewSpace()
+	tab := NewTable(42)
+	m, _ := NewMat(s, 2, 2, 1)
+	id := tab.Put(m)
+	got, ok := tab.Get(id)
+	if !ok || got != Object(m) {
+		t.Fatalf("Get = %v, %v", got, ok)
+	}
+	if tab.Len() != 1 {
+		t.Fatal("Len wrong")
+	}
+	tab.Delete(id)
+	if _, ok := tab.Get(id); ok {
+		t.Fatal("deleted object still present")
+	}
+}
+
+func TestTableIDsUnique(t *testing.T) {
+	s := mem.NewSpace()
+	tab := NewTable(1)
+	m, _ := NewMat(s, 1, 1, 1)
+	a, b := tab.Put(m), tab.Put(m)
+	if a == b {
+		t.Fatal("ids must be unique")
+	}
+}
+
+func TestTableClear(t *testing.T) {
+	s := mem.NewSpace()
+	tab := NewTable(1)
+	m, _ := NewMat(s, 1, 1, 1)
+	tab.Put(m)
+	tab.Clear()
+	if tab.Len() != 0 {
+		t.Fatal("Clear should empty the table")
+	}
+}
+
+func TestRefEncodeDecodeRoundTrip(t *testing.T) {
+	s := mem.NewSpace()
+	tab := NewTable(9)
+	m, _ := NewMat(s, 3, 3, 1)
+	_ = m.Set(1, 1, 0, 200)
+	id := tab.Put(m)
+	ref, err := tab.RefFor(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeRef(ref.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.PID != 9 || dec.ID != id || dec.Size != 9 || dec.Kind != KindMat || dec.Hash != ref.Hash {
+		t.Fatalf("decoded = %+v, want %+v", dec, ref)
+	}
+	if !bytes.Equal(dec.Header, ref.Header) {
+		t.Fatal("header lost in round trip")
+	}
+}
+
+func TestDecodeRefShort(t *testing.T) {
+	if _, err := DecodeRef([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short ref should fail to decode")
+	}
+}
+
+func TestRefForMissing(t *testing.T) {
+	tab := NewTable(1)
+	if _, err := tab.RefFor(99); err == nil {
+		t.Fatal("RefFor of missing id should fail")
+	}
+}
+
+func TestRefHashChangesWithContent(t *testing.T) {
+	s := mem.NewSpace()
+	tab := NewTable(1)
+	m, _ := NewMat(s, 2, 2, 1)
+	id := tab.Put(m)
+	r1, _ := tab.RefFor(id)
+	_ = m.Set(0, 0, 0, 99)
+	r2, _ := tab.RefFor(id)
+	if r1.Hash == r2.Hash {
+		t.Fatal("content hash should change when payload changes")
+	}
+}
+
+func TestRebuildMat(t *testing.T) {
+	src, dst := mem.NewSpace(), mem.NewSpace()
+	tab := NewTable(1)
+	m, _ := MatFromBytes(src, 2, 2, 1, []byte{1, 2, 3, 4})
+	id := tab.Put(m)
+	ref, _ := tab.RefFor(id)
+	payload, _ := PayloadBytes(m)
+	o, err := Rebuild(dst, ref, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm, ok := o.(*Mat)
+	if !ok || rm.Rows() != 2 || rm.Cols() != 2 {
+		t.Fatalf("rebuilt = %v", o)
+	}
+	v, _ := rm.At(1, 1, 0)
+	if v != 4 {
+		t.Fatalf("rebuilt pixel = %d", v)
+	}
+}
+
+func TestRebuildTensorAndBlob(t *testing.T) {
+	src, dst := mem.NewSpace(), mem.NewSpace()
+	tab := NewTable(1)
+
+	ten, _ := TensorFromValues(src, []float64{5, 6})
+	tid := tab.Put(ten)
+	tref, _ := tab.RefFor(tid)
+	tp, _ := PayloadBytes(ten)
+	o, err := Rebuild(dst, tref, tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := o.(*Tensor)
+	if v, _ := rt.AtFlat(1); v != 6 {
+		t.Fatalf("rebuilt tensor[1] = %v", v)
+	}
+
+	bl, _ := NewBlob(src, []byte("xyz"))
+	bid := tab.Put(bl)
+	bref, _ := tab.RefFor(bid)
+	bp, _ := PayloadBytes(bl)
+	o, err = Rebuild(dst, bref, bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb := o.(*Blob)
+	if got, _ := rb.Bytes(); string(got) != "xyz" {
+		t.Fatalf("rebuilt blob = %q", got)
+	}
+}
+
+func TestRebuildBadPayload(t *testing.T) {
+	src, dst := mem.NewSpace(), mem.NewSpace()
+	tab := NewTable(1)
+	ten, _ := NewTensor(src, 4)
+	ref, _ := tab.RefFor(tab.Put(ten))
+	if _, err := Rebuild(dst, ref, []byte{1, 2}); err == nil {
+		t.Fatal("tensor rebuild with short payload should fail")
+	}
+	ref.Kind = Kind(99)
+	if _, err := Rebuild(dst, ref, nil); err == nil {
+		t.Fatal("unknown kind should fail")
+	}
+}
+
+func TestContentHashBlockedByPermNone(t *testing.T) {
+	s := mem.NewSpace()
+	m, _ := NewMat(s, 2, 2, 1)
+	_, _ = s.ProtectRegion(m.Region(), mem.PermNone)
+	if _, err := ContentHash(m); err == nil {
+		t.Fatal("hash of unreadable object should fault")
+	}
+}

@@ -1,0 +1,203 @@
+package object
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"freepart.dev/freepart/internal/mem"
+)
+
+// Tensor is an n-dimensional float64 array backed by simulated memory,
+// modeled on PyTorch/TensorFlow tensors. Elements are stored row-major,
+// 8 bytes each, big-endian.
+type Tensor struct {
+	shape  []int
+	space  *mem.AddressSpace
+	region mem.Region
+}
+
+// NewTensor allocates a zeroed tensor with the given shape.
+func NewTensor(space *mem.AddressSpace, shape ...int) (*Tensor, error) {
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			return nil, fmt.Errorf("object: invalid tensor dim %d in %v", d, shape)
+		}
+		n *= d
+	}
+	if len(shape) == 0 {
+		return nil, fmt.Errorf("object: tensor needs at least one dimension")
+	}
+	r, err := space.Alloc(n * 8)
+	if err != nil {
+		return nil, err
+	}
+	return &Tensor{shape: append([]int(nil), shape...), space: space, region: r}, nil
+}
+
+// TensorFromValues allocates a 1-D tensor initialized with vals.
+func TensorFromValues(space *mem.AddressSpace, vals []float64) (*Tensor, error) {
+	t, err := NewTensor(space, len(vals))
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range vals {
+		if err := t.SetFlat(i, v); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// Kind implements Object.
+func (t *Tensor) Kind() Kind { return KindTensor }
+
+// Space implements Object.
+func (t *Tensor) Space() *mem.AddressSpace { return t.space }
+
+// Region implements Object.
+func (t *Tensor) Region() mem.Region { return t.region }
+
+// Shape returns the tensor's dimensions.
+func (t *Tensor) Shape() []int { return append([]int(nil), t.shape...) }
+
+// Len returns the number of elements.
+func (t *Tensor) Len() int {
+	n := 1
+	for _, d := range t.shape {
+		n *= d
+	}
+	return n
+}
+
+// Size returns the payload size in bytes.
+func (t *Tensor) Size() int { return t.Len() * 8 }
+
+// Header encodes the shape.
+func (t *Tensor) Header() []byte {
+	b := make([]byte, 0, 4+4*len(t.shape))
+	b = binary.BigEndian.AppendUint32(b, uint32(len(t.shape)))
+	for _, d := range t.shape {
+		b = binary.BigEndian.AppendUint32(b, uint32(d))
+	}
+	return b
+}
+
+// TensorShapeFromHeader decodes a tensor header.
+func TensorShapeFromHeader(h []byte) ([]int, error) {
+	if len(h) < 4 {
+		return nil, fmt.Errorf("object: short tensor header")
+	}
+	nd := int(binary.BigEndian.Uint32(h[0:4]))
+	if len(h) != 4+4*nd {
+		return nil, fmt.Errorf("object: tensor header length %d for %d dims", len(h), nd)
+	}
+	shape := make([]int, nd)
+	for i := 0; i < nd; i++ {
+		shape[i] = int(binary.BigEndian.Uint32(h[4+4*i : 8+4*i]))
+	}
+	return shape, nil
+}
+
+// flatIndex converts multi-dim indices to a flat offset.
+func (t *Tensor) flatIndex(idx []int) (int, error) {
+	if len(idx) != len(t.shape) {
+		return 0, fmt.Errorf("object: %d indices for %d-dim tensor", len(idx), len(t.shape))
+	}
+	flat := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.shape[i] {
+			return 0, fmt.Errorf("object: index %d out of dim %d (size %d)", x, i, t.shape[i])
+		}
+		flat = flat*t.shape[i] + x
+	}
+	return flat, nil
+}
+
+// At reads an element through the MMU.
+func (t *Tensor) At(idx ...int) (float64, error) {
+	flat, err := t.flatIndex(idx)
+	if err != nil {
+		return 0, err
+	}
+	return t.AtFlat(flat)
+}
+
+// AtFlat reads the i-th element in row-major order.
+func (t *Tensor) AtFlat(i int) (float64, error) {
+	if i < 0 || i >= t.Len() {
+		return 0, fmt.Errorf("object: flat index %d out of %d", i, t.Len())
+	}
+	b, err := t.space.Load(t.region.Base+mem.Addr(i*8), 8)
+	if err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(binary.BigEndian.Uint64(b)), nil
+}
+
+// Set writes an element through the MMU.
+func (t *Tensor) Set(v float64, idx ...int) error {
+	flat, err := t.flatIndex(idx)
+	if err != nil {
+		return err
+	}
+	return t.SetFlat(flat, v)
+}
+
+// SetFlat writes the i-th element in row-major order.
+func (t *Tensor) SetFlat(i int, v float64) error {
+	if i < 0 || i >= t.Len() {
+		return fmt.Errorf("object: flat index %d out of %d", i, t.Len())
+	}
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], math.Float64bits(v))
+	return t.space.Store(t.region.Base+mem.Addr(i*8), b[:])
+}
+
+// Values bulk-loads every element (one permission-checked read of the
+// whole payload instead of per-element loads).
+func (t *Tensor) Values() ([]float64, error) {
+	raw, err := PayloadBytes(t)
+	if err != nil {
+		return nil, err
+	}
+	vals := make([]float64, t.Len())
+	for i := range vals {
+		vals[i] = math.Float64frombits(binary.BigEndian.Uint64(raw[i*8:]))
+	}
+	return vals, nil
+}
+
+// SetValues bulk-stores every element; len(vals) must equal t.Len().
+func (t *Tensor) SetValues(vals []float64) error {
+	if len(vals) != t.Len() {
+		return fmt.Errorf("object: SetValues got %d values for %d elements", len(vals), t.Len())
+	}
+	raw := make([]byte, len(vals)*8)
+	for i, v := range vals {
+		binary.BigEndian.PutUint64(raw[i*8:], math.Float64bits(v))
+	}
+	return t.space.Store(t.region.Base, raw)
+}
+
+// CloneInto deep-copies the tensor into dst.
+func (t *Tensor) CloneInto(dst *mem.AddressSpace) (*Tensor, error) {
+	data, err := PayloadBytes(t)
+	if err != nil {
+		return nil, err
+	}
+	nt, err := NewTensor(dst, t.shape...)
+	if err != nil {
+		return nil, err
+	}
+	if err := dst.Store(nt.region.Base, data); err != nil {
+		return nil, err
+	}
+	return nt, nil
+}
+
+// String describes the tensor.
+func (t *Tensor) String() string {
+	return fmt.Sprintf("Tensor(%v @%#x)", t.shape, uint64(t.region.Base))
+}

@@ -1,0 +1,527 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"freepart.dev/freepart/internal/framework"
+	"freepart.dev/freepart/internal/framework/simcv"
+	"freepart.dev/freepart/internal/framework/simflow"
+	"freepart.dev/freepart/internal/framework/simtorch"
+	"freepart.dev/freepart/internal/kernel"
+)
+
+// Builder synthesizes arguments for one API invocation during the dynamic
+// analysis run (the "frameworks' examples and test cases" of §4.2.2).
+type Builder func(ctx *framework.Ctx) ([]framework.Value, error)
+
+// SetupSuiteInputs provisions the kernel with every file, device, and
+// network payload the test suite needs.
+func SetupSuiteInputs(k *kernel.Kernel) {
+	img, _ := simcv.EncodeImage(8, 8, 1, suitePattern(64))
+	k.FS.WriteFile("/suite/img.img", img)
+	color, _ := simcv.EncodeImage(8, 8, 3, suitePattern(192))
+	k.FS.WriteFile("/suite/color.img", color)
+	k.FS.WriteFile("/suite/model.xml", simcv.EncodeClassifier(100, 4))
+	k.FS.WriteFile("/suite/blob.bin", suitePattern(64))
+	k.FS.WriteFile("/suite/net.prototxt", []byte("fc1 4\nfc2 2\n"))
+	k.FS.WriteFile("/suite/weights.caffemodel", make([]byte, 32))
+	k.FS.WriteFile("/suite/model.pt", simtorch.EncodeModel([][]float64{{1, 0, 0, 1}}))
+	mnist := make([]float64, 64*2)
+	for i := range mnist {
+		mnist[i] = float64(i % 7)
+	}
+	k.FS.WriteFile("/suite/mnist/mnist.bin", simflow.EncodeDataset(mnist))
+	k.FS.WriteFile("/suite/ds/a.bin", simflow.EncodeDataset([]float64{1, 2, 3}))
+	k.FS.WriteFile("/suite/flow.flo", suiteFlow())
+
+	cam := kernel.NewCamera("/dev/camera0")
+	for i := 0; i < 8; i++ {
+		frame, _ := simcv.EncodeImage(8, 8, 1, suitePattern(64))
+		cam.Push(frame)
+	}
+	k.AddCamera(cam)
+
+	for i := 0; i < 4; i++ {
+		k.Net.QueueInbound("hub.pytorch.org", simtorch.EncodeModel([][]float64{{1}}))
+		k.Net.QueueInbound("storage.googleapis.com", suitePattern(32))
+	}
+	for i := 0; i < 8; i++ {
+		k.GUI.PushKey('q')
+	}
+}
+
+// suitePattern returns n deterministic bytes with a mix of bright and dark
+// regions (so detectors, contours, and edges all fire).
+func suitePattern(n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		if (i/8+i%8)%3 == 0 {
+			out[i] = 230
+		} else {
+			out[i] = byte(i * 5 % 97)
+		}
+	}
+	return out
+}
+
+// suiteFlow builds an encoded optical-flow file via the public simcv APIs
+// (write through a scratch run would be circular, so craft bytes directly).
+func suiteFlow() []byte {
+	// rows=2, cols=2 -> 8 float64 zeros after the header.
+	out := []byte("FLO1")
+	out = append(out, 0, 0, 0, 2, 0, 0, 0, 2)
+	out = append(out, make([]byte, 8*8)...)
+	return out
+}
+
+// mat builds an 8x8 single-channel mat value with the suite pattern.
+func mat(ctx *framework.Ctx) (framework.Value, error) {
+	id, _, err := ctx.NewMatFromBytes(8, 8, 1, suitePattern(64))
+	return framework.Obj(id), err
+}
+
+// tensor2 builds a 4x4 tensor value.
+func tensor2(ctx *framework.Ctx) (framework.Value, error) {
+	id, t, err := ctx.NewTensor(4, 4)
+	if err != nil {
+		return framework.Nil(), err
+	}
+	vals := make([]float64, 16)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	return framework.Obj(id), t.SetValues(vals)
+}
+
+// kernel3 builds a 3x3 averaging kernel tensor.
+func kernel3(ctx *framework.Ctx) (framework.Value, error) {
+	id, t, err := ctx.NewTensor(3, 3)
+	if err != nil {
+		return framework.Nil(), err
+	}
+	return framework.Obj(id), t.SetValues([]float64{1, 1, 1, 1, 1, 1, 1, 1, 1})
+}
+
+// oneMat wraps a single-mat argument list.
+func oneMat(ctx *framework.Ctx) ([]framework.Value, error) {
+	v, err := mat(ctx)
+	return []framework.Value{v}, err
+}
+
+// twoMats wraps a two-mat argument list.
+func twoMats(ctx *framework.Ctx) ([]framework.Value, error) {
+	a, err := mat(ctx)
+	if err != nil {
+		return nil, err
+	}
+	b, err := mat(ctx)
+	return []framework.Value{a, b}, err
+}
+
+// oneTensor wraps a single-tensor argument list.
+func oneTensor(ctx *framework.Ctx) ([]framework.Value, error) {
+	v, err := tensor2(ctx)
+	return []framework.Value{v}, err
+}
+
+// twoTensors wraps a two-tensor argument list.
+func twoTensors(ctx *framework.Ctx) ([]framework.Value, error) {
+	a, err := tensor2(ctx)
+	if err != nil {
+		return nil, err
+	}
+	b, err := tensor2(ctx)
+	return []framework.Value{a, b}, err
+}
+
+// contours builds (contourTensor, 0) via a 2x5 synthetic contour table.
+func contours(ctx *framework.Ctx) ([]framework.Value, error) {
+	id, t, err := ctx.NewTensor(2, 5)
+	if err != nil {
+		return nil, err
+	}
+	if err := t.SetValues([]float64{1, 1, 3, 3, 9, 5, 5, 6, 6, 4}); err != nil {
+		return nil, err
+	}
+	return []framework.Value{framework.Obj(id), framework.Int64(0)}, nil
+}
+
+// Builders returns the per-API argument builders for the full suite.
+// Unlisted APIs fall back to defaults in DefaultBuilder.
+func Builders() map[string]Builder {
+	b := map[string]Builder{
+		"cv.imread": func(ctx *framework.Ctx) ([]framework.Value, error) {
+			return []framework.Value{framework.Str("/suite/img.img")}, nil
+		},
+		"cv.cvLoad": func(ctx *framework.Ctx) ([]framework.Value, error) {
+			return []framework.Value{framework.Str("/suite/blob.bin")}, nil
+		},
+		"cv.readOpticalFlow": func(ctx *framework.Ctx) ([]framework.Value, error) {
+			return []framework.Value{framework.Str("/suite/flow.flo")}, nil
+		},
+		"cv.VideoCapture": func(ctx *framework.Ctx) ([]framework.Value, error) {
+			return []framework.Value{framework.Int64(0)}, nil
+		},
+		"cv.VideoCapture.read": func(ctx *framework.Ctx) ([]framework.Value, error) {
+			h, _, err := ctx.NewBlob([]byte("/dev/camera0"))
+			return []framework.Value{framework.Obj(h)}, err
+		},
+		"cv.CascadeClassifier": func(ctx *framework.Ctx) ([]framework.Value, error) {
+			return []framework.Value{framework.Str("/suite/model.xml")}, nil
+		},
+		"cv.CascadeClassifier.detectMultiScale": func(ctx *framework.Ctx) ([]framework.Value, error) {
+			model, err := ctx.K.FS.ReadFile("/suite/model.xml")
+			if err != nil {
+				return nil, err
+			}
+			h, _, err := ctx.NewBlob(model)
+			if err != nil {
+				return nil, err
+			}
+			m, err := mat(ctx)
+			return []framework.Value{framework.Obj(h), m}, err
+		},
+		"cv.imshow": func(ctx *framework.Ctx) ([]framework.Value, error) {
+			m, err := mat(ctx)
+			return []framework.Value{framework.Str("suite"), m}, err
+		},
+		"cv.imwrite": func(ctx *framework.Ctx) ([]framework.Value, error) {
+			m, err := mat(ctx)
+			return []framework.Value{framework.Str("/suite/out.img"), m}, err
+		},
+		"cv.writeOpticalFlow": func(ctx *framework.Ctx) ([]framework.Value, error) {
+			id, t, err := ctx.NewTensor(2, 2, 2)
+			if err != nil {
+				return nil, err
+			}
+			if err := t.SetValues(make([]float64, 8)); err != nil {
+				return nil, err
+			}
+			return []framework.Value{framework.Str("/suite/out.flo"), framework.Obj(id)}, nil
+		},
+		"cv.VideoWriter": func(ctx *framework.Ctx) ([]framework.Value, error) {
+			return []framework.Value{framework.Str("/suite/out.vid")}, nil
+		},
+		"cv.VideoWriter.write": func(ctx *framework.Ctx) ([]framework.Value, error) {
+			h, _, err := ctx.NewBlob([]byte("/suite/out.vid"))
+			if err != nil {
+				return nil, err
+			}
+			m, err := mat(ctx)
+			return []framework.Value{framework.Obj(h), m}, err
+		},
+		"cv.filter2D": func(ctx *framework.Ctx) ([]framework.Value, error) {
+			m, err := mat(ctx)
+			if err != nil {
+				return nil, err
+			}
+			k, err := kernel3(ctx)
+			return []framework.Value{m, k}, err
+		},
+		"cv.warpPerspective": warpBuilder,
+		"cv.warpAffine":      warpBuilder,
+		"cv.remap": func(ctx *framework.Ctx) ([]framework.Value, error) {
+			m, err := mat(ctx)
+			if err != nil {
+				return nil, err
+			}
+			id, t, err := ctx.NewTensor(8, 8, 2)
+			if err != nil {
+				return nil, err
+			}
+			if err := t.SetValues(make([]float64, 128)); err != nil {
+				return nil, err
+			}
+			return []framework.Value{m, framework.Obj(id)}, nil
+		},
+		"cv.getPerspectiveTransform": quadBuilder,
+		"cv.getAffineTransform":      quadBuilder,
+		"cv.boundingRect":            contours,
+		"cv.contourArea":             contours,
+		"cv.drawContours": func(ctx *framework.Ctx) ([]framework.Value, error) {
+			m, err := mat(ctx)
+			if err != nil {
+				return nil, err
+			}
+			cs, err := contours(ctx)
+			if err != nil {
+				return nil, err
+			}
+			return []framework.Value{m, cs[0]}, nil
+		},
+		"cv.compareHist": func(ctx *framework.Ctx) ([]framework.Value, error) {
+			mk := func() (framework.Value, error) {
+				id, t, err := ctx.NewTensor(256)
+				if err != nil {
+					return framework.Nil(), err
+				}
+				return framework.Obj(id), t.SetFlat(10, 5)
+			}
+			a, err := mk()
+			if err != nil {
+				return nil, err
+			}
+			b, err := mk()
+			if err != nil {
+				return nil, err
+			}
+			return []framework.Value{a, b}, nil
+		},
+		"cv.BFMatcher.match": twoTensors,
+		"cv.KalmanFilter.predict": func(ctx *framework.Ctx) ([]framework.Value, error) {
+			id, t, err := ctx.NewTensor(4)
+			if err != nil {
+				return nil, err
+			}
+			return []framework.Value{framework.Obj(id)}, t.SetValues([]float64{1, 2, 0.5, 0.5})
+		},
+		"cv.KalmanFilter.correct": func(ctx *framework.Ctx) ([]framework.Value, error) {
+			id, t, err := ctx.NewTensor(4)
+			if err != nil {
+				return nil, err
+			}
+			if err := t.SetValues([]float64{1, 2, 0.5, 0.5}); err != nil {
+				return nil, err
+			}
+			return []framework.Value{framework.Obj(id), framework.Float64(2), framework.Float64(3)}, nil
+		},
+
+		// simtorch
+		"torch.load": func(ctx *framework.Ctx) ([]framework.Value, error) {
+			return []framework.Value{framework.Str("/suite/model.pt")}, nil
+		},
+		"torch.hub.load": func(ctx *framework.Ctx) ([]framework.Value, error) {
+			return []framework.Value{framework.Str("suite-model")}, nil
+		},
+		"torchvision.datasets.MNIST": func(ctx *framework.Ctx) ([]framework.Value, error) {
+			return []framework.Value{framework.Str("/suite/mnist")}, nil
+		},
+		"torch.utils.data.DataLoader": func(ctx *framework.Ctx) ([]framework.Value, error) {
+			id, t, err := ctx.NewTensor(4, 64)
+			if err != nil {
+				return nil, err
+			}
+			if err := t.SetValues(make([]float64, 256)); err != nil {
+				return nil, err
+			}
+			return []framework.Value{framework.Obj(id), framework.Int64(2)}, nil
+		},
+		"torch.tensor": func(ctx *framework.Ctx) ([]framework.Value, error) {
+			return []framework.Value{framework.Int64(8), framework.Float64(1)}, nil
+		},
+		"torch.matmul": matmulBuilder,
+		"torch.nn.Conv2d": func(ctx *framework.Ctx) ([]framework.Value, error) {
+			in, err := tensor2(ctx)
+			if err != nil {
+				return nil, err
+			}
+			k, err := kernel3(ctx)
+			return []framework.Value{in, k}, err
+		},
+		"torch.reshape": func(ctx *framework.Ctx) ([]framework.Value, error) {
+			in, err := tensor2(ctx)
+			return []framework.Value{in, framework.Int64(2), framework.Int64(8)}, err
+		},
+		"torch.Module.forward": func(ctx *framework.Ctx) ([]framework.Value, error) {
+			raw, err := ctx.K.FS.ReadFile("/suite/model.pt")
+			if err != nil {
+				return nil, err
+			}
+			h, _, err := ctx.NewBlob(raw)
+			if err != nil {
+				return nil, err
+			}
+			id, t, err := ctx.NewTensor(2)
+			if err != nil {
+				return nil, err
+			}
+			return []framework.Value{framework.Obj(h), framework.Obj(id)}, t.SetValues([]float64{1, 2})
+		},
+		"torch.optim.SGD.step": func(ctx *framework.Ctx) ([]framework.Value, error) {
+			return twoTensors(ctx)
+		},
+		"torch.save": func(ctx *framework.Ctx) ([]framework.Value, error) {
+			in, err := tensor2(ctx)
+			return []framework.Value{in, framework.Str("/suite/out.pt")}, err
+		},
+		"torch.utils.tensorboard.SummaryWriter": func(ctx *framework.Ctx) ([]framework.Value, error) {
+			return []framework.Value{framework.Str("/suite/runs"), framework.Float64(0.5)}, nil
+		},
+
+		// simflow
+		"tf.keras.utils.get_file": func(ctx *framework.Ctx) ([]framework.Value, error) {
+			return []framework.Value{framework.Str("suite.bin")}, nil
+		},
+		"tf.keras.preprocessing.image_dataset_from_directory": func(ctx *framework.Ctx) ([]framework.Value, error) {
+			return []framework.Value{framework.Str("/suite/ds/")}, nil
+		},
+		"tf.io.read_file": func(ctx *framework.Ctx) ([]framework.Value, error) {
+			return []framework.Value{framework.Str("/suite/blob.bin")}, nil
+		},
+		"tf.nn.conv3d": func(ctx *framework.Ctx) ([]framework.Value, error) {
+			id, t, err := ctx.NewTensor(3, 3, 3)
+			if err != nil {
+				return nil, err
+			}
+			return []framework.Value{framework.Obj(id)}, t.SetValues(make([]float64, 27))
+		},
+		"tf.matmul": matmulBuilder,
+		"tf.one_hot": func(ctx *framework.Ctx) ([]framework.Value, error) {
+			return []framework.Value{framework.Int64(1), framework.Int64(4)}, nil
+		},
+		"tf.image.resize": func(ctx *framework.Ctx) ([]framework.Value, error) {
+			in, err := tensor2(ctx)
+			return []framework.Value{in, framework.Int64(2), framework.Int64(2)}, err
+		},
+		"tf.estimator.DNNClassifier.train": func(ctx *framework.Ctx) ([]framework.Value, error) {
+			sid, st, err := ctx.NewTensor(2)
+			if err != nil {
+				return nil, err
+			}
+			if err := st.SetValues([]float64{0, 0}); err != nil {
+				return nil, err
+			}
+			d, err := tensor2(ctx)
+			return []framework.Value{framework.Obj(sid), d}, err
+		},
+		"tf.debugging.experimental.enable_dump_debug_info": func(ctx *framework.Ctx) ([]framework.Value, error) {
+			return []framework.Value{framework.Str("/suite/tfdbg")}, nil
+		},
+		"tf.keras.Model.save_weights": func(ctx *framework.Ctx) ([]framework.Value, error) {
+			in, err := tensor2(ctx)
+			return []framework.Value{in, framework.Str("/suite/w.bin")}, err
+		},
+		"tf.keras.preprocessing.image.save_img": func(ctx *framework.Ctx) ([]framework.Value, error) {
+			in, err := tensor2(ctx)
+			return []framework.Value{in, framework.Str("/suite/out.png")}, err
+		},
+
+		// simcaffe
+		"caffe.ReadProtoFromTextFile": func(ctx *framework.Ctx) ([]framework.Value, error) {
+			return []framework.Value{framework.Str("/suite/net.prototxt")}, nil
+		},
+		"caffe.ReadProtoFromBinaryFile": func(ctx *framework.Ctx) ([]framework.Value, error) {
+			return []framework.Value{framework.Str("/suite/weights.caffemodel")}, nil
+		},
+		"caffe.Net": func(ctx *framework.Ctx) ([]framework.Value, error) {
+			raw, err := ctx.K.FS.ReadFile("/suite/net.prototxt")
+			if err != nil {
+				return nil, err
+			}
+			h, _, err := ctx.NewBlob(raw)
+			return []framework.Value{framework.Obj(h)}, err
+		},
+		"caffe.Net.Forward": func(ctx *framework.Ctx) ([]framework.Value, error) {
+			w, err := tensor2(ctx)
+			if err != nil {
+				return nil, err
+			}
+			id, t, err := ctx.NewTensor(4)
+			if err != nil {
+				return nil, err
+			}
+			return []framework.Value{w, framework.Obj(id)}, t.SetValues([]float64{1, 2, 3, 4})
+		},
+		"caffe.Net.CopyTrainedLayersFrom": func(ctx *framework.Ctx) ([]framework.Value, error) {
+			w, err := tensor2(ctx)
+			if err != nil {
+				return nil, err
+			}
+			h, _, err := ctx.NewBlob(make([]byte, 32))
+			return []framework.Value{w, framework.Obj(h)}, err
+		},
+		"caffe.SGDSolver.Step": twoTensors,
+		"caffe.Blob.Reshape": func(ctx *framework.Ctx) ([]framework.Value, error) {
+			in, err := tensor2(ctx)
+			return []framework.Value{in, framework.Int64(2), framework.Int64(8)}, err
+		},
+	}
+	for _, name := range []string{"caffe.WriteProtoToTextFile", "caffe.hdf5_save_string", "caffe.Solver.Snapshot"} {
+		n := name
+		b[n] = func(ctx *framework.Ctx) ([]framework.Value, error) {
+			in, err := tensor2(ctx)
+			return []framework.Value{in, framework.Str("/suite/" + n)}, err
+		}
+	}
+	return b
+}
+
+func warpBuilder(ctx *framework.Ctx) ([]framework.Value, error) {
+	m, err := mat(ctx)
+	if err != nil {
+		return nil, err
+	}
+	id, t, err := ctx.NewTensor(3, 3)
+	if err != nil {
+		return nil, err
+	}
+	if err := t.SetValues([]float64{1, 0, 0, 0, 1, 0, 0, 0, 1}); err != nil {
+		return nil, err
+	}
+	return []framework.Value{m, framework.Obj(id)}, nil
+}
+
+func quadBuilder(ctx *framework.Ctx) ([]framework.Value, error) {
+	mk := func(base float64) (framework.Value, error) {
+		id, t, err := ctx.NewTensor(8)
+		if err != nil {
+			return framework.Nil(), err
+		}
+		vals := make([]float64, 8)
+		for i := range vals {
+			vals[i] = base + float64(i)
+		}
+		return framework.Obj(id), t.SetValues(vals)
+	}
+	a, err := mk(0)
+	if err != nil {
+		return nil, err
+	}
+	b, err := mk(10)
+	if err != nil {
+		return nil, err
+	}
+	return []framework.Value{a, b}, nil
+}
+
+func matmulBuilder(ctx *framework.Ctx) ([]framework.Value, error) {
+	return twoTensors(ctx)
+}
+
+// binaryMats lists simcv APIs taking two mat arguments.
+var binaryMats = map[string]bool{
+	"cv.bitwise_and": true, "cv.bitwise_or": true, "cv.bitwise_xor": true,
+	"cv.add": true, "cv.subtract": true, "cv.absdiff": true, "cv.max": true,
+	"cv.min": true, "cv.compare": true, "cv.addWeighted": true,
+	"cv.matchTemplate": true, "cv.phaseCorrelate": true,
+	"cv.calcOpticalFlowFarneback": true, "cv.matchShapes": true,
+}
+
+// DefaultBuilder synthesizes arguments for APIs without an explicit entry:
+// simcv APIs get mats, tensor frameworks get tensors.
+func DefaultBuilder(api *framework.API) Builder {
+	if strings.HasPrefix(api.Name, "cv.") {
+		if binaryMats[api.Name] {
+			return twoMats
+		}
+		return oneMat
+	}
+	return oneTensor
+}
+
+// RunSuite executes the full dynamic analysis: every API in the registry,
+// with suite inputs provisioned, under the runner's recorder.
+func RunSuite(k *kernel.Kernel, r *Runner) {
+	SetupSuiteInputs(k)
+	builders := Builders()
+	for _, api := range r.Registry.All() {
+		b, ok := builders[api.Name]
+		if !ok {
+			b = DefaultBuilder(api)
+		}
+		if _, err := r.RunAPI(k, api, b); err != nil {
+			r.Errors[api.Name] = fmt.Errorf("suite: %s: %w", api.Name, err)
+		}
+	}
+}

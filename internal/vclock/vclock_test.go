@@ -1,0 +1,154 @@
+package vclock
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestClockStartsAtZero(t *testing.T) {
+	c := New()
+	if got := c.Now(); got != 0 {
+		t.Fatalf("new clock Now() = %v, want 0", got)
+	}
+}
+
+func TestClockAdvance(t *testing.T) {
+	c := New()
+	c.Advance(5 * time.Millisecond)
+	c.Advance(3 * time.Millisecond)
+	if got, want := c.Now(), 8*time.Millisecond; got != want {
+		t.Fatalf("Now() = %v, want %v", got, want)
+	}
+}
+
+func TestClockNegativeAdvanceIgnored(t *testing.T) {
+	c := New()
+	c.Advance(time.Second)
+	c.Advance(-time.Hour)
+	if got, want := c.Now(), time.Second; got != want {
+		t.Fatalf("Now() = %v after negative advance, want %v", got, want)
+	}
+}
+
+func TestClockReset(t *testing.T) {
+	c := New()
+	c.Advance(time.Minute)
+	c.Reset()
+	if got := c.Now(); got != 0 {
+		t.Fatalf("Now() after Reset = %v, want 0", got)
+	}
+}
+
+func TestClockConcurrentAdvance(t *testing.T) {
+	c := New()
+	const workers, per = 8, 1000
+	done := make(chan struct{})
+	for i := 0; i < workers; i++ {
+		go func() {
+			for j := 0; j < per; j++ {
+				c.Advance(time.Nanosecond)
+			}
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < workers; i++ {
+		<-done
+	}
+	if got, want := c.Now(), time.Duration(workers*per); got != want {
+		t.Fatalf("concurrent Now() = %v, want %v", got, want)
+	}
+}
+
+func TestClockMonotonic(t *testing.T) {
+	c := New()
+	prev := c.Now()
+	f := func(d int32) bool {
+		now := c.Advance(time.Duration(d))
+		ok := now >= prev
+		prev = now
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultCostModelPositive(t *testing.T) {
+	m := Default()
+	if m.IPCRoundTrip <= 0 || m.CopyPerBytePS <= 0 || m.Syscall <= 0 ||
+		m.MProtect <= 0 || m.ProcessSpawn <= 0 || m.ComputePerBytePS <= 0 ||
+		m.APIFixed <= 0 || m.SeccompCheck <= 0 || m.PageTouch <= 0 ||
+		m.DeviceReadPerBytePS <= 0 || m.CheckpointPerBytePS <= 0 {
+		t.Fatalf("default cost model has non-positive constant: %+v", m)
+	}
+}
+
+func TestCopyCost(t *testing.T) {
+	m := Default()
+	if got := m.CopyCost(0); got != 0 {
+		t.Fatalf("CopyCost(0) = %v, want 0", got)
+	}
+	if got := m.CopyCost(-5); got != 0 {
+		t.Fatalf("CopyCost(-5) = %v, want 0", got)
+	}
+	// 1000 bytes at 1.5 ns/B = 1500 ns.
+	if got, want := m.CopyCost(1000), 1500*time.Nanosecond; got != want {
+		t.Fatalf("CopyCost(1000) = %v, want %v", got, want)
+	}
+}
+
+func TestCopyCostMonotoneInSize(t *testing.T) {
+	m := Default()
+	f := func(a, b uint16) bool {
+		x, y := int(a), int(b)
+		if x > y {
+			x, y = y, x
+		}
+		return m.CopyCost(x) <= m.CopyCost(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComputeCost(t *testing.T) {
+	m := Default()
+	if got := m.ComputeCost(100, 0); got != 0 {
+		t.Fatalf("zero intensity ComputeCost = %v, want 0", got)
+	}
+	if got := m.ComputeCost(-1, 1); got != 0 {
+		t.Fatalf("negative size ComputeCost = %v, want 0", got)
+	}
+	lin := m.ComputeCost(1<<20, 1)
+	conv := m.ComputeCost(1<<20, 9)
+	if conv <= lin {
+		t.Fatalf("intensity 9 (%v) should cost more than intensity 1 (%v)", conv, lin)
+	}
+}
+
+func TestDeviceAndCheckpointCost(t *testing.T) {
+	m := Default()
+	if m.DeviceReadCost(1<<20) <= 0 {
+		t.Fatal("DeviceReadCost(1MiB) should be positive")
+	}
+	if m.CheckpointCost(1<<20) <= 0 {
+		t.Fatal("CheckpointCost(1MiB) should be positive")
+	}
+	if m.DeviceReadCost(-1) != 0 || m.CheckpointCost(-1) != 0 {
+		t.Fatal("negative sizes should cost 0")
+	}
+}
+
+func TestPerAPIIsolationRatioShape(t *testing.T) {
+	// Sanity-check the calibration: copying 42.7 GB at the modeled rate must
+	// dominate a 54 s baseline by roughly the Table 9 ratio (121.8/54.1≈2.3).
+	m := Default()
+	gb := 42.7
+	added := m.CopyCost(int(gb * float64(1<<30)))
+	base := 54 * time.Second
+	ratio := float64(base+added) / float64(base)
+	if ratio < 1.8 || ratio > 3.0 {
+		t.Fatalf("per-API isolation ratio = %.2f, want within [1.8, 3.0]", ratio)
+	}
+}
