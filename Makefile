@@ -1,0 +1,28 @@
+# Standard checks for the FreePart reproduction. `make check` is the gate:
+# vet, build, race-enabled tests, and a fixed-seed chaos soak.
+
+GO ?= go
+
+.PHONY: check vet build test race soak bench
+
+check: vet build race soak
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Fixed-seed chaos soak: 100 seeds of fault injection over the OMR
+# pipeline, asserting zero host crashes and byte-identical outputs.
+soak:
+	$(GO) test -run TestChaosSoak -count=1 ./internal/chaos/
+
+bench:
+	$(GO) test -bench=. -benchmem

@@ -6,7 +6,8 @@
 //	experiments -exp fig4 -samples 50 -sheets 2
 //	experiments -exp fig13 -scale 8
 //
-// Experiments: table1..table12, fig4, fig6, fig7, fig13, a14, security.
+// Experiments: table1..table12, fig4, fig6, fig7, fig13, a14, security,
+// robustness.
 package main
 
 import (
@@ -27,26 +28,27 @@ func main() {
 	flag.Parse()
 
 	runners := map[string]func() (string, error){
-		"table1":   report.Table1,
-		"table2":   report.Table2,
-		"table3":   report.Table3,
-		"table4":   report.Table4,
-		"table5":   report.Table5,
-		"table6":   report.Table6,
-		"table7":   report.Table7,
-		"table8":   report.Table8,
-		"table9":   func() (string, error) { return report.Table9(*sheets) },
-		"table10":  report.Table10,
-		"table11":  report.Table11,
-		"table12":  report.Table12,
-		"fig4":     func() (string, error) { return report.Fig4(4, *maxK, *samples, *sheets) },
-		"fig6":     report.Fig6,
-		"fig7":     report.Fig7,
-		"fig12":    report.Fig12,
-		"fig13":    func() (string, error) { return report.Fig13(*scale) },
-		"ablation": func() (string, error) { return report.Ablation(*sheets) },
-		"a14":      func() (string, error) { return report.A14(*samples, *sheets) },
-		"security": report.SecurityMatrix,
+		"table1":     report.Table1,
+		"table2":     report.Table2,
+		"table3":     report.Table3,
+		"table4":     report.Table4,
+		"table5":     report.Table5,
+		"table6":     report.Table6,
+		"table7":     report.Table7,
+		"table8":     report.Table8,
+		"table9":     func() (string, error) { return report.Table9(*sheets) },
+		"table10":    report.Table10,
+		"table11":    report.Table11,
+		"table12":    report.Table12,
+		"fig4":       func() (string, error) { return report.Fig4(4, *maxK, *samples, *sheets) },
+		"fig6":       report.Fig6,
+		"fig7":       report.Fig7,
+		"fig12":      report.Fig12,
+		"fig13":      func() (string, error) { return report.Fig13(*scale) },
+		"ablation":   func() (string, error) { return report.Ablation(*sheets) },
+		"a14":        func() (string, error) { return report.A14(*samples, *sheets) },
+		"security":   report.SecurityMatrix,
+		"robustness": func() (string, error) { return report.TableRobustness(5, *sheets) },
 	}
 
 	if *exp != "" {

@@ -5,6 +5,7 @@
 //	freepart run -app 8                  # run an evaluation app unprotected
 //	freepart protect -app 8              # run it under FreePart, print stats
 //	freepart attack -cve CVE-2017-12597  # demonstrate an attack with/without FreePart
+//	freepart chaos -seeds 10             # fault-injection sweep with equivalence check
 //	freepart list                        # list the evaluation applications
 package main
 
@@ -43,6 +44,8 @@ func main() {
 		err = cmdRun(args, true)
 	case "attack":
 		err = cmdAttack(args)
+	case "chaos":
+		err = cmdChaos(args)
 	default:
 		usage()
 		os.Exit(2)
@@ -62,7 +65,9 @@ commands:
   list       list the evaluation applications
   run        run an application unprotected (-app <id>, -scale <n>)
   protect    run an application under FreePart (-app <id>, -scale <n>)
-  attack     demonstrate an attack (-cve <id>) with and without FreePart`)
+  attack     demonstrate an attack (-cve <id>) with and without FreePart
+  chaos      sweep seeded fault injection over the pipelines (-seed, -seeds,
+             -intensity, -sheets, -requests) and verify output equivalence`)
 }
 
 // hybrid runs the dynamic suite and returns the analyzer + categorization.

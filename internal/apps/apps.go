@@ -55,6 +55,9 @@ func (e *Env) MustCall(api string, args ...framework.Value) ([]core.Handle, []fr
 // appError wraps pipeline failures for recovery in Run.
 type appError struct{ err error }
 
+func (e appError) Error() string { return e.err.Error() }
+func (e appError) Unwrap() error { return e.err }
+
 // App is one evaluation application with its Table 6 metadata.
 type App struct {
 	ID        int

@@ -1,0 +1,124 @@
+package chaos
+
+import (
+	"time"
+
+	"freepart.dev/freepart/internal/vclock"
+)
+
+// KernelPlan configures syscall-level fault injection.
+type KernelPlan struct {
+	// CrashProb is the per-syscall probability of killing the process
+	// mid-call (a segfault inside library code).
+	CrashProb float64
+	// CrashEveryN, when non-zero, crashes the process deterministically on
+	// every Nth targeted syscall, independent of CrashProb — useful for
+	// forcing crash loops in tests.
+	CrashEveryN uint64
+	// TransientProb is the per-syscall probability of an EINTR/EAGAIN-class
+	// failure on interruptible I/O calls (read/write/sendto/recvfrom/
+	// select); the kernel restarts the call, paying entry cost again.
+	TransientProb float64
+	// MaxTransient caps consecutive transient failures injected at one call
+	// site, so restart loops terminate (default 3).
+	MaxTransient int
+	// StallProb is the per-syscall probability of a device stall on
+	// ioctl/select (a camera or GUI socket that answers late).
+	StallProb float64
+	// Stall is the virtual time one stall charges.
+	Stall vclock.Duration
+}
+
+// IPCPlan configures message-level fault injection on agent connections.
+type IPCPlan struct {
+	// DropProb loses a request or response; the caller times out and the
+	// supervisor retries under the same sequence number.
+	DropProb float64
+	// DupProb delivers a request twice; the server dedup cache must absorb
+	// the duplicate.
+	DupProb float64
+	// CorruptProb flips a payload byte in transit; checksums catch it.
+	CorruptProb float64
+	// StallProb delays delivery, charging Stall to the virtual clock.
+	StallProb float64
+	// Stall is the virtual time one slow delivery charges.
+	Stall vclock.Duration
+}
+
+// MemPlan configures spurious memory faults inside agent address spaces.
+type MemPlan struct {
+	// FaultProb is the per-checked-write probability of a spurious fault
+	// (a stray hardware fault or latent memory bug); the access is denied
+	// and the owning agent crashes.
+	FaultProb float64
+	// Page, when non-zero, restricts injection to accesses touching that
+	// page index.
+	Page uint64
+}
+
+// Plan is the full, seeded fault-injection configuration. Two engines built
+// from equal plans make identical decisions given the same call pattern.
+type Plan struct {
+	// Seed drives the engine's deterministic RNG.
+	Seed int64
+	// TargetPrefix restricts injection to processes whose name carries this
+	// prefix; empty defaults to "agent:" so the host is never targeted.
+	TargetPrefix string
+	Kernel       KernelPlan
+	IPC          IPCPlan
+	Mem          MemPlan
+}
+
+// DefaultTargetPrefix marks the processes chaos may touch. Host processes
+// are never injected: the whole point of the fault model is that only
+// partitions fail.
+const DefaultTargetPrefix = "agent:"
+
+// Scaled returns a plan exercising every fault site with probabilities
+// proportional to intensity (clamped to [0, 1]). Intensity 1 is far beyond
+// any realistic fault rate; soak tests run around 0.03–0.08.
+func Scaled(seed int64, intensity float64) Plan {
+	if intensity < 0 {
+		intensity = 0
+	}
+	if intensity > 1 {
+		intensity = 1
+	}
+	return Plan{
+		Seed:         seed,
+		TargetPrefix: DefaultTargetPrefix,
+		Kernel: KernelPlan{
+			CrashProb:     0.20 * intensity,
+			TransientProb: 0.50 * intensity,
+			MaxTransient:  3,
+			StallProb:     0.30 * intensity,
+			Stall:         vclock.Duration(50 * time.Microsecond),
+		},
+		IPC: IPCPlan{
+			DropProb:    0.25 * intensity,
+			DupProb:     0.30 * intensity,
+			CorruptProb: 0.25 * intensity,
+			StallProb:   0.30 * intensity,
+			Stall:       vclock.Duration(20 * time.Microsecond),
+		},
+		Mem: MemPlan{
+			FaultProb: 0.05 * intensity,
+		},
+	}
+}
+
+// targetPrefix returns the effective process-name prefix.
+func (p Plan) targetPrefix() string {
+	if p.TargetPrefix == "" {
+		return DefaultTargetPrefix
+	}
+	return p.TargetPrefix
+}
+
+// maxTransient returns the effective consecutive-transient cap.
+func (p Plan) maxTransient() int {
+	if p.Kernel.MaxTransient <= 0 {
+		return 3
+	}
+	return p.Kernel.MaxTransient
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"freepart.dev/freepart/internal/analysis"
@@ -10,6 +11,7 @@ import (
 	"freepart.dev/freepart/internal/ipc"
 	"freepart.dev/freepart/internal/kernel"
 	"freepart.dev/freepart/internal/object"
+	"freepart.dev/freepart/internal/vclock"
 )
 
 // agent is one isolated partition: a process, its object table, an RPC
@@ -34,7 +36,69 @@ type agent struct {
 	// pre-crash table id (§A.2.4).
 	checkpoints map[uint64]checkpoint
 
+	// restartMu serializes the whole supervise-and-restart operation so
+	// concurrent observers of one crash cannot double-restart the process
+	// (each would wipe the other's restored state).
+	restartMu sync.Mutex
+	// Supervision policy state, guarded by mu: consecutive crash-loop
+	// length, virtual restart times inside the breaker window, and whether
+	// the breaker has demoted this partition to in-host execution.
+	streak       int
+	restartTimes []vclock.Duration
+	degraded     bool
+
 	conn *ipc.Conn
+}
+
+// isDegraded reports whether the breaker demoted this partition.
+func (a *agent) isDegraded() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.degraded
+}
+
+// setDegraded marks the partition demoted; returns false if it already was.
+func (a *agent) setDegraded() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.degraded {
+		return false
+	}
+	a.degraded = true
+	return true
+}
+
+// noteSuccess resets the crash-loop streak after a completed call.
+func (a *agent) noteSuccess() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.streak = 0
+}
+
+// bumpStreak extends the crash-loop streak and returns its new length.
+func (a *agent) bumpStreak() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.streak++
+	return a.streak
+}
+
+// recordRestart logs a restart at virtual time now and returns how many
+// restarts fall inside the trailing window (0 = unbounded window).
+func (a *agent) recordRestart(now, window vclock.Duration) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.restartTimes = append(a.restartTimes, now)
+	if window > 0 {
+		keep := a.restartTimes[:0]
+		for _, t := range a.restartTimes {
+			if now-t <= window {
+				keep = append(keep, t)
+			}
+		}
+		a.restartTimes = keep
+	}
+	return len(a.restartTimes)
 }
 
 // checkpoint is a serialized object snapshot.
@@ -95,20 +159,27 @@ func (rt *Runtime) serve(a *agent) ipc.Handler {
 		if !ok {
 			return nil, fmt.Errorf("core: unknown API %s", call.API)
 		}
+		// Any failure past this point may be the agent dying mid-request
+		// (exploit, DoS, injected fault) — including during argument
+		// rebuilding, which writes into the agent's space. Classify such
+		// errors as crashes so the supervisor retries instead of surfacing
+		// them to the application.
+		crashClass := func(err error) error {
+			if !a.process().Alive() {
+				return fmt.Errorf("%w: %v", ipc.ErrAgentCrashed, err)
+			}
+			return err
+		}
 		ctx := a.context()
 		args, err := rt.unmarshalArgs(a, ctx, call)
 		if err != nil {
-			return nil, err
+			return nil, crashClass(err)
 		}
 		results, err := api.Exec(ctx, args)
 		if err != nil {
-			if !a.process().Alive() {
-				// The API crashed its agent (exploit, DoS, fault).
-				return nil, fmt.Errorf("%w: %v", ipc.ErrAgentCrashed, err)
-			}
-			return nil, err
+			return nil, crashClass(err)
 		}
-		if rt.Config.CheckpointStateful && api.Stateful {
+		if (rt.Config.CheckpointStateful && api.Stateful) || rt.Config.CheckpointAll {
 			rt.checkpointObjects(a, ctx, args, results)
 		}
 		reply, err := rt.marshalReply(a, ctx, results)
@@ -280,7 +351,16 @@ func (rt *Runtime) restartAgent(a *agent) error {
 	a.deref = make(map[derefKey]uint64)
 	a.mu.Unlock()
 
-	for oldID, cp := range cps {
+	// Restore in sorted id order so allocation addresses in the fresh
+	// space — and everything downstream, including chaos logs — are
+	// deterministic (map iteration order is not).
+	oldIDs := make([]uint64, 0, len(cps))
+	for oldID := range cps {
+		oldIDs = append(oldIDs, oldID)
+	}
+	sort.Slice(oldIDs, func(i, j int) bool { return oldIDs[i] < oldIDs[j] })
+	for _, oldID := range oldIDs {
+		cp := cps[oldID]
 		o, err := object.Rebuild(proc.Space(), object.Ref{Kind: cp.kind, Header: cp.header}, cp.payload)
 		if err != nil {
 			continue
@@ -306,30 +386,61 @@ func (rt *Runtime) restartAgent(a *agent) error {
 			return err
 		}
 	}
+	// Re-arm fault injection on the fresh address space — after checkpoint
+	// restoration, so the revival itself cannot be faulted back down.
+	rt.armChaos(a)
 	return nil
 }
 
-// callAgent performs one RPC to the agent, handling crash + restart.
+// callAgent performs one RPC to the agent under the supervision policy:
+// crash-class failures trigger a supervised restart, and with a retry
+// budget the call is re-issued under its original sequence number —
+// idempotent replay, because the server-side dedup cache answers for work
+// the previous incarnation already completed.
 func (rt *Runtime) callAgent(a *agent, call framework.Call) (framework.Reply, error) {
 	wire, err := framework.EncodeCall(call)
 	if err != nil {
 		return framework.Reply{}, err
 	}
-	out, err := a.conn.Call(0, wire)
-	rt.Metrics.AddIPC(payloadBytes(call))
-	if err != nil {
-		if errors.Is(err, ipc.ErrAgentCrashed) && rt.Config.Restart {
-			if rerr := rt.restartAgent(a); rerr != nil {
+	seq := a.conn.NextSeq()
+	for attempt := 0; ; attempt++ {
+		var out []byte
+		if attempt == 0 {
+			out, err = a.conn.CallSeq(seq, 0, wire)
+		} else {
+			rt.Metrics.AddRetry()
+			out, err = a.conn.Retry(seq, 0, wire)
+		}
+		rt.Metrics.AddIPC(payloadBytes(call))
+		if err == nil {
+			a.noteSuccess()
+			reply, derr := framework.DecodeReply(out)
+			if derr != nil {
+				return framework.Reply{}, derr
+			}
+			return reply, nil
+		}
+		crashed := errors.Is(err, ipc.ErrAgentCrashed) || errors.Is(err, ipc.ErrPeerDead)
+		transient := errors.Is(err, ipc.ErrTimeout) || errors.Is(err, ipc.ErrCorrupt)
+		if !crashed && !transient {
+			// Application-level error: surface unchanged, no retry.
+			return framework.Reply{}, err
+		}
+		if crashed {
+			if !rt.Config.Restart {
+				return framework.Reply{}, err
+			}
+			if rerr := rt.superviseRestart(a); rerr != nil {
 				return framework.Reply{}, fmt.Errorf("core: restart failed: %w (after %v)", rerr, err)
 			}
+			if a.isDegraded() {
+				return framework.Reply{}, errAgentDegraded
+			}
 		}
-		return framework.Reply{}, err
+		if attempt >= rt.Config.RetryBudget {
+			return framework.Reply{}, err
+		}
 	}
-	reply, err := framework.DecodeReply(out)
-	if err != nil {
-		return framework.Reply{}, err
-	}
-	return reply, nil
 }
 
 // payloadBytes sums the eager payload bytes attached to a call.

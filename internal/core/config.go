@@ -5,9 +5,13 @@
 package core
 
 import (
+	"time"
+
+	"freepart.dev/freepart/internal/chaos"
 	"freepart.dev/freepart/internal/framework"
 	"freepart.dev/freepart/internal/kernel"
 	"freepart.dev/freepart/internal/object"
+	"freepart.dev/freepart/internal/vclock"
 )
 
 // Config selects the runtime's policies.
@@ -38,6 +42,37 @@ type Config struct {
 	PartitionOf func(api *framework.API) int
 	// Partitions is the partition count when PartitionOf is set.
 	Partitions int
+
+	// Chaos, when set, threads the fault-injection engine into the kernel,
+	// every agent connection, and every agent address space.
+	Chaos *chaos.Engine
+	// RetryBudget is how many times the supervisor re-issues one API call
+	// (same RPC sequence number, so completed work is answered from the
+	// dedup cache) after a crash, timeout, or corrupted message. 0 keeps
+	// the paper's behaviour: restart the agent but surface the error.
+	RetryBudget int
+	// CheckpointAll extends checkpointing from stateful APIs to every
+	// object argument/result, so a retried call can be replayed even when
+	// its arguments lived in the agent that just lost its memory.
+	CheckpointAll bool
+	// BackoffBase is the virtual-time penalty of the first restart in a
+	// crash loop; each consecutive restart doubles it up to BackoffCap.
+	// 0 disables backoff.
+	BackoffBase vclock.Duration
+	// BackoffCap bounds the exponential backoff.
+	BackoffCap vclock.Duration
+	// BreakerThreshold trips the circuit breaker: after this many restarts
+	// of one partition within BreakerWindow, the partition is degraded to
+	// in-host direct execution (a recorded security downgrade). 0 disables
+	// the breaker.
+	BreakerThreshold int
+	// BreakerWindow is the virtual-time window the breaker counts restarts
+	// over; 0 means an unbounded window.
+	BreakerWindow vclock.Duration
+	// CallDeadline bounds how long one RPC waits for a response in wall-
+	// clock time, so a peer that dies without answering fails the call
+	// instead of hanging. 0 disables the deadline.
+	CallDeadline time.Duration
 }
 
 // Default returns the paper's standard configuration: four type-based
@@ -51,7 +86,24 @@ func Default() Config {
 		EnforcePermissions: true,
 		RestrictSyscalls:   true,
 		FilterAction:       kernel.ActionKill,
+		CallDeadline:       2 * time.Second,
 	}
+}
+
+// ChaosConfig returns the supervision policy used for chaos runs: the
+// paper's defaults plus retry budgets with idempotent replay, checkpointing
+// of every object (so replays survive argument loss), exponential crash-
+// loop backoff charged to the virtual clock, and the circuit breaker.
+func ChaosConfig(eng *chaos.Engine) Config {
+	cfg := Default()
+	cfg.Chaos = eng
+	cfg.RetryBudget = 6
+	cfg.CheckpointAll = true
+	cfg.BackoffBase = vclock.Duration(20 * time.Microsecond)
+	cfg.BackoffCap = vclock.Duration(2 * time.Millisecond)
+	cfg.BreakerThreshold = 8
+	cfg.BreakerWindow = vclock.Duration(200 * time.Millisecond)
+	return cfg
 }
 
 // Handle is the host program's reference to a data object produced by a

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"freepart.dev/freepart/internal/analysis"
@@ -104,11 +106,25 @@ func New(k *kernel.Kernel, reg *framework.Registry, cat *analysis.Categorization
 		rt.policies = rt.analyzer.DeriveSyscallPolicy(cat, cfg.AppAPIs)
 	}
 
+	// Spawn in sorted partition order so PIDs — and everything derived
+	// from them — are deterministic across runs.
 	partitions := rt.partitionSet()
-	for id, types := range partitions {
-		if err := rt.spawnAgent(id, types); err != nil {
+	ids := make([]int, 0, len(partitions))
+	for id := range partitions {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		if err := rt.spawnAgent(id, partitions[id]); err != nil {
 			return nil, err
 		}
+	}
+
+	// Arm the kernel injector only after every agent is up: chaos models
+	// steady-state faults, not boot failures (those would abort New).
+	if cfg.Chaos != nil {
+		cfg.Chaos.Bind(k.Clock, rt.Metrics)
+		k.SetInjector(cfg.Chaos)
 	}
 	return rt, nil
 }
@@ -157,6 +173,10 @@ func (rt *Runtime) spawnAgent(id int, types map[framework.APIType]bool) error {
 		deref:       make(map[derefKey]uint64),
 		conn:        ipc.NewConn(64, rt.K.Clock, rt.K.Cost),
 	}
+	if rt.Config.CallDeadline > 0 {
+		a.conn.SetDeadline(rt.Config.CallDeadline)
+	}
+	a.conn.SetPeerCheck(func() bool { return a.process().Alive() })
 	if rt.policies != nil {
 		// A partition homing several types gets the union policy.
 		merged := &analysis.AgentPolicy{FDLabels: make(map[kernel.Sysno][]string)}
@@ -190,6 +210,7 @@ func (rt *Runtime) spawnAgent(id int, types map[framework.APIType]bool) error {
 			return err
 		}
 	}
+	rt.armChaos(a)
 	return nil
 }
 
@@ -258,12 +279,19 @@ func (rt *Runtime) agentFor(api *framework.API) (*agent, error) {
 // Agents returns the agent processes in partition order (for inspection).
 func (rt *Runtime) Agents() []*kernel.Process {
 	rt.mu.Lock()
-	defer rt.mu.Unlock()
-	out := make([]*kernel.Process, 0, len(rt.agents))
-	for i := 0; i < len(rt.agents)+8; i++ {
-		if a, ok := rt.agents[i]; ok {
-			out = append(out, a.process())
-		}
+	ids := make([]int, 0, len(rt.agents))
+	for id := range rt.agents {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	agents := make([]*agent, 0, len(ids))
+	for _, id := range ids {
+		agents = append(agents, rt.agents[id])
+	}
+	rt.mu.Unlock()
+	out := make([]*kernel.Process, 0, len(agents))
+	for _, a := range agents {
+		out = append(out, a.process())
 	}
 	return out
 }
@@ -414,6 +442,12 @@ func (rt *Runtime) Call(apiName string, args ...framework.Value) ([]Handle, []fr
 		}
 	}
 
+	// A partition the circuit breaker demoted runs in-host (§4.4.2's
+	// availability escape hatch): no isolation, but the pipeline survives.
+	if a.isDegraded() {
+		return rt.finishDegraded(api, args)
+	}
+
 	call, err := rt.marshalArgs(args)
 	if err != nil {
 		return nil, nil, err
@@ -421,6 +455,10 @@ func (rt *Runtime) Call(apiName string, args ...framework.Value) ([]Handle, []fr
 	call.API = apiName
 
 	reply, err := rt.callAgent(a, call)
+	if errors.Is(err, errAgentDegraded) {
+		// The breaker tripped while this very call was being supervised.
+		return rt.finishDegraded(api, args)
+	}
 	if err != nil {
 		return nil, nil, err
 	}
@@ -445,6 +483,27 @@ func (rt *Runtime) Call(apiName string, args ...framework.Value) ([]Handle, []fr
 			h = Handle{local: rt.hostCtx.Table.Put(o), materialized: true, size: len(payload), kind: v.Ref.Kind}
 		}
 		handles = append(handles, h)
+	}
+	if api.Stateful {
+		for _, h := range handles {
+			if space, region, ok := rt.Locate(h); ok {
+				rt.mu.Lock()
+				rt.exempt[exemptKey{space, region.Base}] = true
+				rt.mu.Unlock()
+			}
+		}
+	}
+	rt.recordDefined(handles)
+	return handles, plain, nil
+}
+
+// finishDegraded runs the in-host execution path and applies the same
+// post-call bookkeeping (stateful exemptions, temporal registration) that
+// the RPC path applies.
+func (rt *Runtime) finishDegraded(api *framework.API, args []framework.Value) ([]Handle, []framework.Value, error) {
+	handles, plain, err := rt.callDegraded(api, args)
+	if err != nil {
+		return nil, nil, err
 	}
 	if api.Stateful {
 		for _, h := range handles {
@@ -542,7 +601,7 @@ func (rt *Runtime) RestartDead() error {
 	rt.mu.Unlock()
 	for _, a := range agents {
 		if !a.process().Alive() {
-			if err := rt.restartAgent(a); err != nil {
+			if err := rt.superviseRestart(a); err != nil {
 				return err
 			}
 		}

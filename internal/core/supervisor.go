@@ -1,0 +1,158 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"freepart.dev/freepart/internal/framework"
+	"freepart.dev/freepart/internal/mem"
+	"freepart.dev/freepart/internal/object"
+)
+
+// errAgentDegraded signals internally that the circuit breaker demoted the
+// target partition mid-call; Call reroutes to in-host execution.
+var errAgentDegraded = errors.New("core: agent degraded to in-host execution")
+
+// superviseRestart is the policy around restartAgent: it serializes
+// concurrent revivals of one agent, charges exponential crash-loop backoff
+// to the virtual clock, and trips the circuit breaker when one partition
+// keeps dying inside the breaker window. On a tripped breaker the partition
+// is left degraded (in-host execution) rather than restarted forever.
+func (rt *Runtime) superviseRestart(a *agent) error {
+	a.restartMu.Lock()
+	defer a.restartMu.Unlock()
+	if a.isDegraded() || a.process().Alive() {
+		// Another caller already revived (or demoted) it.
+		return nil
+	}
+
+	streak := a.bumpStreak()
+	if rt.Config.BackoffBase > 0 {
+		shift := streak - 1
+		if shift > 20 {
+			shift = 20
+		}
+		d := rt.Config.BackoffBase << uint(shift)
+		if rt.Config.BackoffCap > 0 && d > rt.Config.BackoffCap {
+			d = rt.Config.BackoffCap
+		}
+		rt.K.Clock.Advance(d)
+	}
+
+	// An injected fault can kill the fresh incarnation during its own
+	// re-initialization (e.g. the visualizing agent reopening its GUI
+	// socket); give the revival the same budget as a call.
+	err := rt.restartAgent(a)
+	for tries := 0; err != nil && !a.process().Alive() && tries < rt.Config.RetryBudget; tries++ {
+		err = rt.restartAgent(a)
+	}
+	if err != nil {
+		return err
+	}
+
+	if rt.Config.BreakerThreshold > 0 {
+		n := a.recordRestart(rt.K.Clock.Now(), rt.Config.BreakerWindow)
+		if n >= rt.Config.BreakerThreshold && a.setDegraded() {
+			rt.Metrics.AddDegraded()
+			if rt.Config.Chaos != nil {
+				rt.Config.Chaos.Note("supervisor", "degrade",
+					fmt.Sprintf("%s after %d restarts in window", a.name, n))
+			}
+		}
+	}
+	return nil
+}
+
+// callDegraded executes an API in the host process on behalf of a degraded
+// partition: argument refs are materialized into the host space and the API
+// runs with no isolation — availability bought by a recorded security
+// downgrade.
+func (rt *Runtime) callDegraded(api *framework.API, args []framework.Value) ([]Handle, []framework.Value, error) {
+	rt.Metrics.AddDegradedCall()
+	local := make([]framework.Value, len(args))
+	for i, v := range args {
+		if v.Kind != framework.ValRef {
+			local[i] = v
+			continue
+		}
+		payload, err := rt.loadRemote(v.Ref)
+		if err != nil {
+			return nil, nil, err
+		}
+		o, err := object.Rebuild(rt.Host.Space(), v.Ref, payload)
+		if err != nil {
+			return nil, nil, err
+		}
+		rt.Metrics.AddEagerCopy(len(payload))
+		rt.K.Clock.Advance(rt.K.Cost.CopyCost(len(payload)))
+		local[i] = framework.Obj(rt.hostCtx.Table.Put(o))
+	}
+	results, err := api.Exec(rt.hostCtx, local)
+	if err != nil {
+		return nil, nil, err
+	}
+	handles := make([]Handle, 0, len(results))
+	plain := make([]framework.Value, 0, len(results))
+	for _, v := range results {
+		if v.Kind != framework.ValObj {
+			plain = append(plain, v)
+			continue
+		}
+		h := Handle{local: v.Obj, materialized: true}
+		if o, ok := rt.hostCtx.Table.Get(v.Obj); ok {
+			h.size = o.Region().Size
+			h.kind = o.Kind()
+		}
+		handles = append(handles, h)
+	}
+	return handles, plain, nil
+}
+
+// armChaos threads the fault-injection engine into one agent: the RPC
+// connection gets the message injector, and the agent's current address
+// space gets the spurious-fault hook. Called at spawn and after every
+// restart (a restart replaces the space). The hook crashes the agent
+// process, turning a spurious memory fault into the crash-restart path.
+func (rt *Runtime) armChaos(a *agent) {
+	eng := rt.Config.Chaos
+	if eng == nil {
+		return
+	}
+	a.conn.SetInjector(eng)
+	proc := a.process()
+	space := proc.Space()
+	space.SetAccessHook(func(addr mem.Addr, n int, kind mem.AccessKind) error {
+		f := eng.MemFault(proc.Name(), addr, kind)
+		if f == nil {
+			return nil
+		}
+		rt.K.Crash(proc, f.Error())
+		return f
+	})
+}
+
+// EndpointCount returns how many endpoints (host + agents) the runtime
+// tracks — inspection for leak tests.
+func (rt *Runtime) EndpointCount() int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return len(rt.endpoints)
+}
+
+// DegradedPartitions returns the names of partitions the circuit breaker
+// has demoted to in-host execution.
+func (rt *Runtime) DegradedPartitions() []string {
+	rt.mu.Lock()
+	agents := make([]*agent, 0, len(rt.agents))
+	for _, a := range rt.agents {
+		agents = append(agents, a)
+	}
+	rt.mu.Unlock()
+	var out []string
+	for _, a := range agents {
+		if a.isDegraded() {
+			out = append(out, a.name)
+		}
+	}
+	return out
+}

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"freepart.dev/freepart/internal/vclock"
 )
@@ -318,5 +319,170 @@ func TestCallSeqProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// --- call deadline, peer death, and fault injection ---
+
+func TestCallDeadlineTimesOut(t *testing.T) {
+	// No Serve goroutine: the request is never answered. The deadline must
+	// bound the failure with a typed error.
+	c := NewConn(4, nil, vclock.CostModel{})
+	c.SetDeadline(80 * time.Millisecond)
+	start := time.Now()
+	_, err := c.Call(0, []byte("x"))
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatalf("timed call took %v; deadline not enforced", time.Since(start))
+	}
+}
+
+func TestCallPeerDeadDetected(t *testing.T) {
+	// A generous deadline, but the liveness probe says the peer died: the
+	// call must fail fast with ErrPeerDead, not wait out the deadline.
+	c := NewConn(4, nil, vclock.CostModel{})
+	c.SetDeadline(10 * time.Second)
+	c.SetPeerCheck(func() bool { return false })
+	start := time.Now()
+	_, err := c.Call(0, nil)
+	if !errors.Is(err, ErrPeerDead) {
+		t.Fatalf("err = %v, want ErrPeerDead", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatalf("dead-peer call took %v", time.Since(start))
+	}
+}
+
+func TestCallSucceedsUnderDeadline(t *testing.T) {
+	c := NewConn(4, nil, vclock.CostModel{})
+	c.SetDeadline(5 * time.Second)
+	c.SetPeerCheck(func() bool { return true })
+	go c.Serve(func(kind uint32, p []byte) ([]byte, error) { return p, nil })
+	defer c.Close()
+	out, err := c.Call(0, []byte("hi"))
+	if err != nil || string(out) != "hi" {
+		t.Fatalf("call = %q, %v", out, err)
+	}
+}
+
+// scriptedInjector fails exactly the first request (or response) it sees.
+type scriptedInjector struct {
+	mu        sync.Mutex
+	reqFault  MessageFault
+	respFault MessageFault
+	reqUsed   bool
+	respUsed  bool
+}
+
+func (s *scriptedInjector) RequestFault(seq uint64, payload []byte) MessageFault {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.reqUsed {
+		return MessageFault{}
+	}
+	s.reqUsed = true
+	return s.reqFault
+}
+
+func (s *scriptedInjector) ResponseFault(seq uint64, payload []byte) MessageFault {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.respUsed {
+		return MessageFault{}
+	}
+	s.respUsed = true
+	return s.respFault
+}
+
+func countingServer(t *testing.T, c *Conn) *int {
+	t.Helper()
+	executions := new(int)
+	var mu sync.Mutex
+	go c.Serve(func(kind uint32, p []byte) ([]byte, error) {
+		mu.Lock()
+		*executions++
+		mu.Unlock()
+		return []byte("ok"), nil
+	})
+	t.Cleanup(c.Close)
+	return executions
+}
+
+func TestCorruptRequestDetectedThenRetried(t *testing.T) {
+	c := NewConn(8, nil, vclock.CostModel{})
+	c.SetInjector(&scriptedInjector{reqFault: MessageFault{Corrupt: true}})
+	executions := countingServer(t, c)
+	_, err := c.Call(1, []byte("abc"))
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+	out, err := c.Retry(c.LastSeq(), 1, []byte("abc"))
+	if err != nil || string(out) != "ok" {
+		t.Fatalf("retry = %q, %v", out, err)
+	}
+	if *executions != 1 {
+		t.Fatalf("handler ran %d times, want 1 (corrupt request must not dispatch)", *executions)
+	}
+}
+
+func TestDroppedResponseTimeoutThenDedupAnswers(t *testing.T) {
+	// The handler executes, but the response is lost. The retry under the
+	// same sequence must be answered from the dedup cache: exactly-once
+	// across message loss.
+	c := NewConn(8, nil, vclock.CostModel{})
+	c.SetDeadline(5 * time.Second)
+	c.SetInjector(&scriptedInjector{respFault: MessageFault{Drop: true}})
+	executions := countingServer(t, c)
+	_, err := c.Call(1, []byte("abc"))
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	out, err := c.Retry(c.LastSeq(), 1, []byte("abc"))
+	if err != nil || string(out) != "ok" {
+		t.Fatalf("retry = %q, %v", out, err)
+	}
+	if *executions != 1 {
+		t.Fatalf("handler ran %d times, want 1 (dedup must absorb the retry)", *executions)
+	}
+	if c.Stats().Dedups != 1 {
+		t.Fatalf("stats = %+v, want 1 dedup", c.Stats())
+	}
+}
+
+func TestDuplicatedRequestAbsorbedByDedup(t *testing.T) {
+	c := NewConn(8, nil, vclock.CostModel{})
+	c.SetInjector(&scriptedInjector{reqFault: MessageFault{Duplicate: true}})
+	executions := countingServer(t, c)
+	out, err := c.Call(1, []byte("abc"))
+	if err != nil || string(out) != "ok" {
+		t.Fatalf("call = %q, %v", out, err)
+	}
+	// A fresh call drains any stale duplicate response left in the ring.
+	out, err = c.Call(1, []byte("next"))
+	if err != nil || string(out) != "ok" {
+		t.Fatalf("second call = %q, %v", out, err)
+	}
+	if *executions != 2 {
+		t.Fatalf("handler ran %d times, want 2 (duplicate must not re-execute)", *executions)
+	}
+	if c.Stats().Dedups != 1 {
+		t.Fatalf("stats = %+v, want 1 dedup", c.Stats())
+	}
+}
+
+func TestDroppedRequestChargesVirtualTimeout(t *testing.T) {
+	clk := vclock.New()
+	c := NewConn(8, clk, vclock.Default())
+	c.SetInjector(&scriptedInjector{reqFault: MessageFault{Drop: true}})
+	go c.Serve(func(kind uint32, p []byte) ([]byte, error) { return p, nil })
+	defer c.Close()
+	_, err := c.Call(1, []byte("abc"))
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if clk.Now() < vclock.Default().IPCTimeout {
+		t.Fatalf("clock = %v, want >= IPCTimeout (%v)", clk.Now(), vclock.Default().IPCTimeout)
 	}
 }

@@ -14,6 +14,7 @@ package ipc
 import (
 	"errors"
 	"sync"
+	"time"
 )
 
 // ErrClosed is returned by operations on a closed ring.
@@ -25,6 +26,9 @@ type Message struct {
 	Seq uint64
 	// Kind is an application tag (e.g. API id).
 	Kind uint32
+	// Sum is an FNV-1a checksum of the payload as the sender intended it,
+	// letting the receiver detect in-transit corruption.
+	Sum uint64
 	// Payload is the marshalled body.
 	Payload []byte
 }
@@ -132,6 +136,35 @@ func (r *Ring) Recv() (Message, error) {
 	r.count--
 	r.cond.Broadcast()
 	return m, nil
+}
+
+// RecvTimeout dequeues the oldest message, waiting at most d for one to
+// arrive. timedOut reports that the wait expired with the ring still empty;
+// the caller can poll liveness and come back. Returns ErrClosed once the
+// ring is closed and drained.
+func (r *Ring) RecvTimeout(d time.Duration) (m Message, timedOut bool, err error) {
+	deadline := time.Now().Add(d)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for r.count == 0 && !r.closed {
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return Message{}, true, nil
+		}
+		r.stats.Blocked++
+		t := time.AfterFunc(remain, r.cond.Broadcast)
+		r.cond.Wait()
+		t.Stop()
+	}
+	if r.count == 0 && r.closed {
+		return Message{}, false, ErrClosed
+	}
+	m = r.buf[r.head]
+	r.buf[r.head] = Message{}
+	r.head = (r.head + 1) % len(r.buf)
+	r.count--
+	r.cond.Broadcast()
+	return m, false, nil
 }
 
 // Close wakes all blocked parties. Queued messages remain receivable.

@@ -3,8 +3,10 @@ package ipc
 import (
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"freepart.dev/freepart/internal/vclock"
 )
@@ -14,10 +16,42 @@ import (
 // whether to retry, giving at-least-once semantics.
 var ErrAgentCrashed = errors.New("ipc: agent crashed during request")
 
+// ErrTimeout is returned by Call when no response arrived within the call
+// deadline, or when fault injection dropped a message. The request may or
+// may not have executed; a Retry with the same sequence number is safe
+// because the server-side dedup cache absorbs duplicates.
+var ErrTimeout = errors.New("ipc: call timed out")
+
+// ErrPeerDead is returned by Call when the peer process is no longer alive
+// while the caller is waiting for a response — the bounded-failure guarantee
+// for a peer that crashed mid-serve without managing to answer.
+var ErrPeerDead = errors.New("ipc: peer process dead")
+
+// ErrCorrupt is returned by Call when a message failed its checksum — the
+// payload was damaged in transit. The request was not executed (corrupt
+// requests are rejected before dispatch), so a Retry is safe.
+var ErrCorrupt = errors.New("ipc: message corrupted in transit")
+
 // Handler executes one request and returns the response payload.
 // Returning an error wrapped around ErrAgentCrashed signals that the agent
 // process died mid-request.
 type Handler func(kind uint32, payload []byte) ([]byte, error)
+
+// MessageFault describes what fault injection does to one message in
+// flight. The zero value means "deliver normally".
+type MessageFault struct {
+	Drop      bool            // message lost; the caller times out
+	Duplicate bool            // message delivered twice (dedup must absorb it)
+	Corrupt   bool            // payload damaged; checksum catches it
+	Stall     vclock.Duration // slow delivery, charged to the virtual clock
+}
+
+// Injector decides the fate of messages on a Conn. Implemented by the chaos
+// engine; consulted once per request and once per response.
+type Injector interface {
+	RequestFault(seq uint64, payload []byte) MessageFault
+	ResponseFault(seq uint64, payload []byte) MessageFault
+}
 
 // CallStats counts RPC activity on a Conn.
 type CallStats struct {
@@ -46,11 +80,14 @@ type Conn struct {
 
 	seq atomic.Uint64
 
-	mu      sync.Mutex
-	stats   CallStats
-	done    map[uint64][]byte // server-side dedup cache
-	doneCap int
-	order   []uint64 // insertion order for cache eviction
+	mu        sync.Mutex
+	stats     CallStats
+	done      map[uint64][]byte // server-side dedup cache
+	doneCap   int
+	order     []uint64 // insertion order for cache eviction
+	inject    Injector
+	deadline  time.Duration
+	peerAlive func() bool
 }
 
 // NewConn creates a connection with the given ring capacity. clock may be
@@ -66,19 +103,64 @@ func NewConn(capacity int, clock *vclock.Clock, cost vclock.CostModel) *Conn {
 	}
 }
 
-// respKindOK and respKindCrash tag server responses.
+// SetInjector installs (or clears, with nil) the fault injector consulted
+// for every message on this connection.
+func (c *Conn) SetInjector(i Injector) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.inject = i
+}
+
+// SetDeadline bounds how long a Call waits for its response; 0 (the
+// default) waits forever. An expired deadline surfaces as ErrTimeout.
+func (c *Conn) SetDeadline(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.deadline = d
+}
+
+// SetPeerCheck installs a liveness probe for the serving peer. While a Call
+// is waiting, a quiet period with alive() == false surfaces as ErrPeerDead —
+// a crashed peer fails the call promptly instead of hanging to the deadline.
+func (c *Conn) SetPeerCheck(alive func() bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.peerAlive = alive
+}
+
+// respKindOK, respKindCrash and respKindCorrupt tag server responses.
 const (
 	respKindOK uint32 = iota
 	respKindCrash
+	respKindCorrupt
 )
 
-// Serve runs the server loop: receive, execute (with dedup), respond.
-// It returns when the request ring is closed. Run it in a goroutine.
+// sum64 is the payload checksum carried in Message.Sum (FNV-1a).
+func sum64(p []byte) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write(p)
+	return h.Sum64()
+}
+
+// pollInterval is how often a waiting Call re-checks peer liveness and its
+// deadline.
+const pollInterval = 20 * time.Millisecond
+
+// Serve runs the server loop: receive, verify, execute (with dedup),
+// respond. It returns when the request ring is closed. Run it in a
+// goroutine.
 func (c *Conn) Serve(h Handler) {
 	for {
 		m, err := c.req.Recv()
 		if err != nil {
 			return
+		}
+		if sum64(m.Payload) != m.Sum {
+			// Damaged in transit: reject before dispatch so a Retry with
+			// the same sequence can still execute exactly once.
+			out := []byte("request checksum mismatch")
+			_ = c.resp.Send(Message{Seq: m.Seq, Kind: respKindCorrupt, Sum: sum64(out), Payload: out})
+			continue
 		}
 		c.mu.Lock()
 		cached, dup := c.done[m.Seq]
@@ -87,12 +169,13 @@ func (c *Conn) Serve(h Handler) {
 		}
 		c.mu.Unlock()
 		if dup {
-			_ = c.resp.Send(Message{Seq: m.Seq, Kind: respKindOK, Payload: cached})
+			_ = c.resp.Send(Message{Seq: m.Seq, Kind: respKindOK, Sum: sum64(cached), Payload: cached})
 			continue
 		}
 		out, err := h(m.Kind, m.Payload)
 		if err != nil && errors.Is(err, ErrAgentCrashed) {
-			_ = c.resp.Send(Message{Seq: m.Seq, Kind: respKindCrash, Payload: []byte(err.Error())})
+			p := []byte(err.Error())
+			_ = c.resp.Send(Message{Seq: m.Seq, Kind: respKindCrash, Sum: sum64(p), Payload: p})
 			continue
 		}
 		if err != nil {
@@ -103,7 +186,7 @@ func (c *Conn) Serve(h Handler) {
 			out = append([]byte("="), out...)
 		}
 		c.remember(m.Seq, out)
-		_ = c.resp.Send(Message{Seq: m.Seq, Kind: respKindOK, Payload: out})
+		_ = c.resp.Send(Message{Seq: m.Seq, Kind: respKindOK, Sum: sum64(out), Payload: out})
 	}
 }
 
@@ -127,7 +210,16 @@ func (c *Conn) remember(seq uint64, out []byte) {
 // errors returned by the handler come back as errors; a crash comes back
 // as ErrAgentCrashed.
 func (c *Conn) Call(kind uint32, payload []byte) ([]byte, error) {
-	seq := c.seq.Add(1)
+	return c.callSeq(c.NextSeq(), kind, payload, false)
+}
+
+// NextSeq reserves and returns a fresh sequence number, for callers that
+// need to know the sequence before issuing the request (CallSeq + Retry).
+func (c *Conn) NextSeq() uint64 { return c.seq.Add(1) }
+
+// CallSeq issues a request under a sequence number previously reserved with
+// NextSeq, so the caller can Retry the identical sequence after a failure.
+func (c *Conn) CallSeq(seq uint64, kind uint32, payload []byte) ([]byte, error) {
 	return c.callSeq(seq, kind, payload, false)
 }
 
@@ -141,18 +233,94 @@ func (c *Conn) Retry(seq uint64, kind uint32, payload []byte) ([]byte, error) {
 func (c *Conn) LastSeq() uint64 { return c.seq.Load() }
 
 func (c *Conn) callSeq(seq uint64, kind uint32, payload []byte, retry bool) ([]byte, error) {
-	if err := c.req.Send(Message{Seq: seq, Kind: kind, Payload: payload}); err != nil {
-		return nil, err
-	}
-	for {
-		m, err := c.resp.Recv()
-		if err != nil {
+	c.mu.Lock()
+	inject, deadline, alive := c.inject, c.deadline, c.peerAlive
+	c.mu.Unlock()
+
+	send := payload
+	if inject != nil {
+		f := inject.RequestFault(seq, payload)
+		if f.Stall > 0 && c.clock != nil {
+			c.clock.Advance(f.Stall)
+		}
+		if f.Drop {
+			if c.clock != nil {
+				c.clock.Advance(c.cost.IPCTimeout)
+			}
+			return nil, fmt.Errorf("%w: request seq %d lost", ErrTimeout, seq)
+		}
+		if f.Corrupt {
+			send = corrupted(payload)
+		}
+		// Sum covers the payload as intended, so corruption is detectable.
+		m := Message{Seq: seq, Kind: kind, Sum: sum64(payload), Payload: send}
+		if err := c.req.Send(m); err != nil {
 			return nil, err
+		}
+		if f.Duplicate {
+			if err := c.req.Send(m); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		if err := c.req.Send(Message{Seq: seq, Kind: kind, Sum: sum64(payload), Payload: payload}); err != nil {
+			return nil, err
+		}
+	}
+
+	start := time.Now()
+	for {
+		var m Message
+		if deadline > 0 || alive != nil {
+			poll := pollInterval
+			if deadline > 0 {
+				if remain := deadline - time.Since(start); remain < poll {
+					poll = remain
+				}
+			}
+			if poll <= 0 {
+				return nil, fmt.Errorf("%w: seq %d after %v", ErrTimeout, seq, deadline)
+			}
+			got, timedOut, err := c.resp.RecvTimeout(poll)
+			if err != nil {
+				return nil, err
+			}
+			if timedOut {
+				if alive != nil && !alive() {
+					return nil, fmt.Errorf("%w: seq %d", ErrPeerDead, seq)
+				}
+				if deadline > 0 && time.Since(start) >= deadline {
+					return nil, fmt.Errorf("%w: seq %d after %v", ErrTimeout, seq, deadline)
+				}
+				continue
+			}
+			m = got
+		} else {
+			got, err := c.resp.Recv()
+			if err != nil {
+				return nil, err
+			}
+			m = got
 		}
 		if m.Seq != seq {
 			// A response for an abandoned request (e.g. a crash retry
 			// overtaking a stale completion); drop it.
 			continue
+		}
+		if inject != nil {
+			f := inject.ResponseFault(seq, m.Payload)
+			if f.Stall > 0 && c.clock != nil {
+				c.clock.Advance(f.Stall)
+			}
+			if f.Drop {
+				if c.clock != nil {
+					c.clock.Advance(c.cost.IPCTimeout)
+				}
+				return nil, fmt.Errorf("%w: response seq %d lost", ErrTimeout, seq)
+			}
+			if f.Corrupt {
+				m.Payload = corrupted(m.Payload)
+			}
 		}
 		c.mu.Lock()
 		c.stats.Calls++
@@ -165,6 +333,9 @@ func (c *Conn) callSeq(seq uint64, kind uint32, payload []byte, retry bool) ([]b
 		if c.clock != nil {
 			c.clock.Advance(c.cost.IPCRoundTrip)
 			c.clock.Advance(c.cost.CopyCost(len(payload) + len(m.Payload)))
+		}
+		if m.Kind == respKindCorrupt || sum64(m.Payload) != m.Sum {
+			return nil, fmt.Errorf("%w: seq %d", ErrCorrupt, seq)
 		}
 		if m.Kind == respKindCrash {
 			return nil, fmt.Errorf("%w: %s", ErrAgentCrashed, m.Payload)
@@ -181,6 +352,19 @@ func (c *Conn) callSeq(seq uint64, kind uint32, payload []byte, retry bool) ([]b
 			return nil, fmt.Errorf("ipc: malformed response tag %q", m.Payload[0])
 		}
 	}
+}
+
+// corrupted returns a copy of p with one byte flipped (or a poison byte for
+// empty payloads), simulating in-transit damage without touching the
+// caller's buffer.
+func corrupted(p []byte) []byte {
+	if len(p) == 0 {
+		return []byte{0xFF}
+	}
+	out := make([]byte, len(p))
+	copy(out, p)
+	out[len(out)/2] ^= 0xFF
+	return out
 }
 
 // Stats returns a snapshot of the RPC counters.

@@ -17,6 +17,27 @@ var ErrSyscallDenied = errors.New("kernel: syscall denied by seccomp filter")
 // is not running.
 var ErrProcessDead = errors.New("kernel: process is not running")
 
+// SyscallFault is an injected outcome for one syscall. The zero value means
+// "proceed normally".
+type SyscallFault struct {
+	// Transient makes the syscall fail with an EINTR/EAGAIN-class error;
+	// the kernel restarts it (charging syscall cost again), as libc does
+	// under SA_RESTART.
+	Transient bool
+	// Crash kills the issuing process mid-syscall.
+	Crash bool
+	// Stall charges extra virtual time (a slow device) before completing.
+	Stall vclock.Duration
+	// Reason annotates the fault in process state and errors.
+	Reason string
+}
+
+// FaultInjector is consulted on every syscall entry. Implemented by the
+// chaos engine; the kernel calls it outside its own locks.
+type FaultInjector interface {
+	OnSyscall(p *Process, call Sysno) SyscallFault
+}
+
 // Kernel is the simulated operating system: it owns all processes, the
 // filesystem, devices, and the virtual clock, and mediates every syscall.
 type Kernel struct {
@@ -30,6 +51,7 @@ type Kernel struct {
 	procs   map[PID]*Process
 	nextPID PID
 	cameras map[string]*Camera
+	inject  FaultInjector
 }
 
 // New creates a kernel with empty filesystem, devices, and a fresh clock.
@@ -148,11 +170,48 @@ func (k *Kernel) Restart(p *Process) {
 	k.Clock.Advance(k.Cost.ProcessSpawn)
 }
 
+// SetInjector installs (or clears, with nil) the syscall fault injector.
+func (k *Kernel) SetInjector(i FaultInjector) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.inject = i
+}
+
+func (k *Kernel) injector() FaultInjector {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.inject
+}
+
+// maxTransientRestarts bounds how many consecutive injected transient
+// failures the kernel will restart one syscall through before giving up —
+// the analogue of a libc retry loop that eventually surfaces EINTR.
+const maxTransientRestarts = 8
+
 // Syscall dispatches one system call by process p against an optional
 // fd-scoped resource label. It charges syscall (and, when a filter is
 // installed, seccomp-evaluation) cost, updates accounting, and enforces the
 // filter. On violation with ActionKill the process dies.
 func (k *Kernel) Syscall(p *Process, call Sysno, label string) error {
+	if inj := k.injector(); inj != nil {
+		f := inj.OnSyscall(p, call)
+		for n := 0; f.Transient && n < maxTransientRestarts; n++ {
+			// EINTR/EAGAIN: the call is restarted, paying entry cost again.
+			k.Clock.Advance(k.Cost.Syscall)
+			f = inj.OnSyscall(p, call)
+		}
+		if f.Stall > 0 {
+			k.Clock.Advance(f.Stall)
+		}
+		if f.Crash {
+			reason := f.Reason
+			if reason == "" {
+				reason = fmt.Sprintf("injected crash in %s", call)
+			}
+			k.Crash(p, reason)
+			return fmt.Errorf("%w: %s crashed in %s (%s)", ErrProcessDead, p.Name(), call, reason)
+		}
+	}
 	p.mu.Lock()
 	if p.state != StateRunning {
 		p.mu.Unlock()

@@ -37,6 +37,12 @@ type page struct {
 	key  Key // protection key (0 = default domain)
 }
 
+// AccessHook observes every checked access before the permission tables are
+// consulted and may veto it by returning a non-nil error — the seam used by
+// the chaos engine to raise spurious faults on otherwise-legal accesses.
+// The hook runs with the space lock held and must not re-enter the space.
+type AccessHook func(addr Addr, n int, kind AccessKind) error
+
 // Region describes a contiguous allocated range.
 type Region struct {
 	Base Addr
@@ -66,6 +72,7 @@ type AddressSpace struct {
 	freed   []Region // page-aligned spans returned by Free, reused first
 	stats   Stats
 	pkru    [MaxKey + 1]keyAccess
+	hook    AccessHook
 }
 
 // DefaultLimit is the default per-space allocation ceiling (1 GiB of
@@ -237,10 +244,23 @@ func (s *AddressSpace) PermAt(addr Addr) (Perm, bool) {
 	return pg.perm, true
 }
 
+// SetAccessHook installs (or clears, with nil) the access hook.
+func (s *AddressSpace) SetAccessHook(h AccessHook) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.hook = h
+}
+
 // check validates an access of n bytes at addr for the given kind, under mu.
 func (s *AddressSpace) check(addr Addr, n int, kind AccessKind) error {
 	if n <= 0 {
 		return fmt.Errorf("%w: access size %d", ErrBadRange, n)
+	}
+	if s.hook != nil {
+		if err := s.hook(addr, n, kind); err != nil {
+			s.stats.Faults++
+			return err
+		}
 	}
 	first := addr.PageIndex()
 	last := (addr + Addr(n) - 1).PageIndex()

@@ -24,6 +24,11 @@ type Counters struct {
 	denials     uint64
 	apiCalls    uint64
 	checkpoints uint64
+
+	retries        uint64
+	degraded       uint64
+	degradedCalls  uint64
+	injectedFaults uint64
 }
 
 // Snapshot is an immutable copy of the counters.
@@ -38,6 +43,18 @@ type Snapshot struct {
 	Denials     uint64
 	APICalls    uint64
 	Checkpoints uint64
+
+	// Retries counts API calls re-issued by the supervisor after a crash,
+	// timeout, or corrupted message.
+	Retries uint64
+	// Degraded counts partitions the circuit breaker demoted to in-host
+	// direct execution — each one is a recorded security downgrade.
+	Degraded uint64
+	// DegradedCalls counts API calls executed in-host on behalf of a
+	// degraded partition (no isolation for these).
+	DegradedCalls uint64
+	// InjectedFaults counts faults the chaos engine actually fired.
+	InjectedFaults uint64
 }
 
 // New creates zeroed counters.
@@ -111,6 +128,35 @@ func (c *Counters) AddCheckpoint() {
 	c.checkpoints++
 }
 
+// AddRetry records one supervised re-issue of an API call.
+func (c *Counters) AddRetry() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.retries++
+}
+
+// AddDegraded records a partition demoted to in-host direct execution.
+func (c *Counters) AddDegraded() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.degraded++
+}
+
+// AddDegradedCall records an API call served in-host for a degraded
+// partition.
+func (c *Counters) AddDegradedCall() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.degradedCalls++
+}
+
+// AddInjectedFault records one fault fired by the chaos engine.
+func (c *Counters) AddInjectedFault() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.injectedFaults++
+}
+
 // Snapshot returns a copy of the counters.
 func (c *Counters) Snapshot() Snapshot {
 	c.mu.Lock()
@@ -121,6 +167,8 @@ func (c *Counters) Snapshot() Snapshot {
 		PermFlips: c.permFlips, PagesFlip: c.pagesFlip,
 		Restarts: c.restarts, Denials: c.denials,
 		APICalls: c.apiCalls, Checkpoints: c.checkpoints,
+		Retries: c.retries, Degraded: c.degraded,
+		DegradedCalls: c.degradedCalls, InjectedFaults: c.injectedFaults,
 	}
 }
 
@@ -136,8 +184,9 @@ func (s Snapshot) LazyFraction() float64 {
 
 // String renders a one-line summary.
 func (s Snapshot) String() string {
-	return fmt.Sprintf("ipc=%d bytes=%d lazy=%d eager=%d flips=%d restarts=%d denials=%d",
-		s.IPCCalls, s.BytesMoved, s.LazyCopies, s.EagerCopies, s.PermFlips, s.Restarts, s.Denials)
+	return fmt.Sprintf("ipc=%d bytes=%d lazy=%d eager=%d flips=%d restarts=%d denials=%d retries=%d degraded=%d degradedCalls=%d injected=%d",
+		s.IPCCalls, s.BytesMoved, s.LazyCopies, s.EagerCopies, s.PermFlips, s.Restarts, s.Denials,
+		s.Retries, s.Degraded, s.DegradedCalls, s.InjectedFaults)
 }
 
 // Overhead computes the relative slowdown of a protected run against an

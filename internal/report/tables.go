@@ -1,6 +1,7 @@
 package report
 
 import (
+	"bytes"
 	"fmt"
 	"sort"
 
@@ -8,10 +9,12 @@ import (
 	"freepart.dev/freepart/internal/apps"
 	"freepart.dev/freepart/internal/attack"
 	"freepart.dev/freepart/internal/baseline"
+	"freepart.dev/freepart/internal/chaos"
 	"freepart.dev/freepart/internal/core"
 	"freepart.dev/freepart/internal/framework"
 	"freepart.dev/freepart/internal/framework/all"
 	"freepart.dev/freepart/internal/kernel"
+	"freepart.dev/freepart/internal/metrics"
 	"freepart.dev/freepart/internal/trace"
 )
 
@@ -314,5 +317,69 @@ func Table12() (string, error) {
 	frac := 100 * float64(lazyTotal) / float64(lazyTotal+eagerTotal)
 	t.Add("Total", fmt.Sprintf("%d (%.2f%%)", lazyTotal, frac),
 		fmt.Sprintf("%d (%.2f%%)", eagerTotal, 100-frac))
+	return t.String(), nil
+}
+
+// TableRobustness sweeps fault-injection intensity over the OMRChecker
+// pipeline and reports, per intensity, the injected fault mix and the
+// supervision work (restarts, retries, degradations) needed to keep every
+// run's output byte-identical to the fault-free baseline.
+func TableRobustness(seedsPer, sheets int) (string, error) {
+	reg := all.Registry()
+	cat := analysis.New(reg, nil).Categorize()
+	run := func(eng *chaos.Engine) (csv []byte, scores []int, snap metrics.Snapshot, err error) {
+		cfg := core.Default()
+		if eng != nil {
+			cfg = core.ChaosConfig(eng)
+		}
+		k := kernel.New()
+		rt, err := core.New(k, reg, cat, cfg)
+		if err != nil {
+			return nil, nil, snap, err
+		}
+		defer rt.Close()
+		a, _ := apps.ByID(8) // OMRChecker
+		e := apps.NewEnv(k, rt, a)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					err = fmt.Errorf("pipeline aborted: %v", r)
+				}
+			}()
+			_, scores, err = apps.OMRGradeAll(e, sheets)
+		}()
+		if err != nil {
+			return nil, nil, rt.Metrics.Snapshot(), err
+		}
+		csv, err = k.FS.ReadFile(e.Dir + "/results.csv")
+		return csv, scores, rt.Metrics.Snapshot(), err
+	}
+
+	baseCSV, _, _, err := run(nil)
+	if err != nil {
+		return "", err
+	}
+	t := &Table{
+		Title:  "Robustness: supervision policy under seeded fault injection (OMR workload)",
+		Header: []string{"Intensity", "Injected", "Restarts", "Retries", "Degraded", "Degraded calls", "Output equal"},
+	}
+	for _, intensity := range []float64{0, 0.02, 0.05, 0.10, 0.20} {
+		var injected, restarts, retries, degraded, degradedCalls uint64
+		equal := 0
+		for seed := 1; seed <= seedsPer; seed++ {
+			eng := chaos.New(chaos.Scaled(int64(seed), intensity))
+			csv, _, snap, err := run(eng)
+			if err == nil && bytes.Equal(csv, baseCSV) {
+				equal++
+			}
+			injected += eng.Injected()
+			restarts += snap.Restarts
+			retries += snap.Retries
+			degraded += snap.Degraded
+			degradedCalls += snap.DegradedCalls
+		}
+		t.Add(fmt.Sprintf("%.2f", intensity), u(injected), u(restarts), u(retries),
+			u(degraded), u(degradedCalls), fmt.Sprintf("%d/%d", equal, seedsPer))
+	}
 	return t.String(), nil
 }

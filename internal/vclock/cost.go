@@ -20,6 +20,9 @@ type CostModel struct {
 	// IPCRoundTrip is the fixed cost of one request/response over a ring
 	// buffer channel (enqueue, wakeup, dequeue, reply).
 	IPCRoundTrip Duration
+	// IPCTimeout is the virtual time a caller loses waiting out a lost
+	// message before retrying (the RPC-layer retransmission timeout).
+	IPCTimeout Duration
 	// CopyPerBytePS is the cost in picoseconds of copying one byte between
 	// address spaces through the marshalled path (serialize + memcpy +
 	// deserialize) — eager payload shipping through the host.
@@ -57,6 +60,7 @@ type CostModel struct {
 func Default() CostModel {
 	return CostModel{
 		IPCRoundTrip:        2 * time.Microsecond,
+		IPCTimeout:          100 * time.Microsecond,
 		CopyPerBytePS:       1500, // 1.5 ns/B, marshalled path
 		DirectCopyPerBytePS: 500,  // 0.5 ns/B, raw agent-to-agent copy
 		Syscall:             300 * time.Nanosecond,
