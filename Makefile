@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race soak bench
+.PHONY: check vet build test race soak bench serving
 
 check: vet build race soak
 
@@ -14,10 +14,10 @@ build:
 	$(GO) build ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test -count=1 ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -count=1 ./...
 
 # Fixed-seed chaos soak: 100 seeds of fault injection over the OMR
 # pipeline, asserting zero host crashes and byte-identical outputs.
@@ -26,3 +26,8 @@ soak:
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# Serving-layer scaling sweep: shard counts 1/2/4/8 over the detection
+# pipeline, written to BENCH_serving.json (virtual-time RPS + percentiles).
+serving:
+	$(GO) run ./cmd/experiments -exp serving -json BENCH_serving.json

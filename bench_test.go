@@ -245,6 +245,43 @@ func BenchmarkDirect_CallPath(b *testing.B) {
 	}
 }
 
+// BenchmarkServing_Sharded runs the session-sharded detection service at 4
+// protected shards over a fixed request stream.
+func BenchmarkServing_Sharded(b *testing.B) {
+	reg := all.Registry()
+	cat := analysis.New(reg, nil).Categorize()
+	reqs := apps.GenDetectionRequests(7, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ex, err := core.NewExecutor(4, core.ProtectedShards(reg, cat, core.Default()))
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv, err := apps.ProvisionDetection(ex)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got := apps.Served(srv.Serve(reqs)); got != len(reqs) {
+			b.Fatalf("served %d/%d", got, len(reqs))
+		}
+		ex.Close()
+	}
+}
+
+// BenchmarkServing_Scaling regenerates the shard-count sweep behind
+// BENCH_serving.json and asserts the scaling claim holds.
+func BenchmarkServing_Scaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results, err := report.MeasureServing([]int{1, 2, 4, 8}, 32)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if results[2].Speedup < 2 {
+			b.Fatalf("4-shard speedup %.2fx, want >= 2x", results[2].Speedup)
+		}
+	}
+}
+
 // BenchmarkA14_SubPartitioning measures the adversarial hot-pair split.
 func BenchmarkA14_SubPartitioning(b *testing.B) {
 	reg := all.Registry()

@@ -7,7 +7,7 @@
 //	experiments -exp fig13 -scale 8
 //
 // Experiments: table1..table12, fig4, fig6, fig7, fig13, a14, security,
-// robustness.
+// robustness, serving.
 package main
 
 import (
@@ -25,6 +25,8 @@ func main() {
 	sheets := flag.Int("sheets", 2, "OMR sheets per measurement run")
 	scale := flag.Int("scale", 8, "input image scale for overhead runs (fig13)")
 	maxK := flag.Int("maxk", 12, "largest partition count in the fig4 sweep")
+	requests := flag.Int("requests", 64, "request-stream length for the serving experiment")
+	jsonOut := flag.String("json", "", "write the serving experiment's rows as JSON to this path")
 	flag.Parse()
 
 	runners := map[string]func() (string, error){
@@ -49,6 +51,7 @@ func main() {
 		"a14":        func() (string, error) { return report.A14(*samples, *sheets) },
 		"security":   report.SecurityMatrix,
 		"robustness": func() (string, error) { return report.TableRobustness(5, *sheets) },
+		"serving":    func() (string, error) { return report.TableServing(*requests, *jsonOut) },
 	}
 
 	if *exp != "" {

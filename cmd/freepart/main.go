@@ -143,7 +143,7 @@ func cmdRun(args []string, protected bool) error {
 		return fmt.Errorf("no app %d", *id)
 	}
 	k := kernel.New()
-	var ex core.Executor
+	var ex core.Caller
 	var rt *core.Runtime
 	if protected {
 		_, cat, _ := hybrid()

@@ -34,7 +34,7 @@ func fly(protected bool) {
 	app := apps.DroneApp()
 	k := kernel.New()
 	reg := all.Registry()
-	var ex core.Executor
+	var ex core.Caller
 	var rt *core.Runtime
 	if protected {
 		cat := analysis.New(reg, nil).Categorize()
@@ -79,7 +79,7 @@ func fly(protected bool) {
 	fmt.Printf("drone control process: %s\n", host.State())
 }
 
-func hostOf(e *apps.Env, ex core.Executor) *kernel.Process {
+func hostOf(e *apps.Env, ex core.Caller) *kernel.Process {
 	if e.Rt != nil {
 		return e.Rt.Host
 	}

@@ -35,7 +35,7 @@ func view(protected bool) {
 	app := apps.ViewerApp()
 	k := kernel.New()
 	reg := all.Registry()
-	var ex core.Executor
+	var ex core.Caller
 	var rt *core.Runtime
 	if protected {
 		cat := analysis.New(reg, nil).Categorize()

@@ -37,7 +37,7 @@ func main() {
 func runScenario(app apps.App, protected bool) {
 	k := kernel.New()
 	reg := all.Registry()
-	var ex core.Executor
+	var ex core.Caller
 	var rt *core.Runtime
 	if protected {
 		cat := analysis.New(reg, nil).Categorize()
@@ -115,14 +115,14 @@ func trojanMat(e *apps.Env, trigger []byte) framework.Value {
 	return framework.Obj(id)
 }
 
-func hostSpace(e *apps.Env, ex core.Executor) *mem.AddressSpace {
+func hostSpace(e *apps.Env, ex core.Caller) *mem.AddressSpace {
 	if e.Rt != nil {
 		return e.Rt.Host.Space()
 	}
 	return ex.(*core.Direct).Proc.Space()
 }
 
-func hostProc(e *apps.Env, ex core.Executor) *kernel.Process {
+func hostProc(e *apps.Env, ex core.Caller) *kernel.Process {
 	if e.Rt != nil {
 		return e.Rt.Host
 	}

@@ -3,17 +3,20 @@
 // availability, so FreePart's restart supervisor revives crashed agents
 // and the service keeps answering.
 //
-// The demo submits requests from three users; user 2 is malicious (a DoS
-// exploit in the loading path). Unprotected, the service dies at request 2
-// and users 3+ get nothing. Under FreePart, request 2 fails alone, the
-// loading agent restarts, and every other user is served — and the
-// malicious request cannot read the earlier users' images (other users'
-// inputs are sensitive, §5.3).
+// The demo has two acts. First the availability story: three honest users
+// and one malicious one (a DoS exploit in the loading path). Unprotected,
+// the service dies at the malicious request and later users get nothing;
+// under FreePart the bad request fails alone. Second the serving mode: a
+// session-sharded core.Executor answers a request stream across
+// -concurrency runtime shards, printing virtual-time throughput and
+// latency percentiles from the merged per-shard clocks.
 //
 //	go run ./examples/server
+//	go run ./examples/server -concurrency 4 -requests 64
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -25,14 +28,23 @@ import (
 	"freepart.dev/freepart/internal/framework/simcv"
 	"freepart.dev/freepart/internal/kernel"
 	"freepart.dev/freepart/internal/workload"
+
+	"freepart.dev/freepart/internal/apps"
 )
 
 func main() {
+	concurrency := flag.Int("concurrency", 4, "runtime shards in the serving pool")
+	requests := flag.Int("requests", 32, "requests in the serving-mode stream")
+	flag.Parse()
+
 	fmt.Println("=== unprotected server ===")
 	serve(false)
 	fmt.Println()
 	fmt.Println("=== FreePart server ===")
 	serve(true)
+	fmt.Println()
+	fmt.Printf("=== FreePart serving mode (%d shards) ===\n", *concurrency)
+	serveConcurrent(*concurrency, *requests)
 }
 
 // request is one user's submission.
@@ -44,7 +56,7 @@ type request struct {
 func serve(protected bool) {
 	k := kernel.New()
 	reg := all.Registry()
-	var ex core.Executor
+	var ex core.Caller
 	var rt *core.Runtime
 	if protected {
 		cat := analysis.New(reg, nil).Categorize()
@@ -112,6 +124,43 @@ func serve(protected bool) {
 		alive = ex.(*core.Direct).Proc.Alive()
 	}
 	fmt.Printf("service process alive: %v\n", alive)
+}
+
+// serveConcurrent runs the session-sharded serving layer: n protected
+// runtime shards behind a core.Executor, one model build shared across all
+// shards via the read-only object store, and a deterministic request
+// stream fanned out through sessions.
+func serveConcurrent(shards, requests int) {
+	reg := all.Registry()
+	cat := analysis.New(reg, nil).Categorize()
+	ex, err := core.NewExecutor(shards, core.ProtectedShards(reg, cat, core.Default()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ex.Close()
+
+	srv, err := apps.ProvisionDetection(ex)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := ex.Store().Stats()
+	fmt.Printf("model interned: %d build(s) serving %d shards read-only\n", st.Builds, ex.Shards())
+
+	reqs := apps.GenDetectionRequests(11, requests)
+	results := srv.Serve(reqs)
+	for _, r := range results {
+		if r.Err != nil {
+			fmt.Printf("user %d: request failed (%s)\n", r.User, short(r.Err))
+		}
+	}
+	lat := ex.Latencies()
+	crit := ex.CriticalPath()
+	fmt.Printf("served %d/%d requests across %d shards\n", apps.Served(results), len(reqs), ex.Shards())
+	fmt.Printf("virtual latency: p50=%v p95=%v p99=%v\n", lat.P50(), lat.P95(), lat.P99())
+	if crit > 0 {
+		fmt.Printf("critical path: %v (%.1f requests per virtual second, parallelism %.2f)\n",
+			crit, float64(len(reqs))/crit.Seconds(), float64(ex.TotalWork())/float64(crit))
+	}
 }
 
 func short(err error) string {

@@ -2,7 +2,7 @@
 // motivating example (§3), the 23 programs of Table 6, and the case-study
 // programs (autonomous drone §5.4.1, MComix3 viewer §5.4.2, StegoNet
 // victims §A.7). Every app is a real pipeline over the simulated
-// frameworks, written against core.Executor so the same code runs
+// frameworks, written against core.Caller so the same code runs
 // unprotected (core.Direct), under FreePart (core.Runtime), and under the
 // baseline isolation techniques.
 package apps
@@ -19,7 +19,7 @@ import (
 // Env is the execution environment handed to an app run.
 type Env struct {
 	K  *kernel.Kernel
-	Ex core.Executor
+	Ex core.Caller
 	// Gen generates this run's inputs (seeded per app for determinism).
 	Gen *workload.Gen
 	// Dir is the app's input/output directory in the simulated FS.
@@ -92,7 +92,7 @@ func (a App) Run(e *Env) (err error) {
 
 // NewEnv provisions a standard environment for the app: seeded generator,
 // input files, camera, and model files.
-func NewEnv(k *kernel.Kernel, ex core.Executor, a App) *Env {
+func NewEnv(k *kernel.Kernel, ex core.Caller, a App) *Env {
 	return NewEnvScaled(k, ex, a, 1)
 }
 
@@ -100,7 +100,7 @@ func NewEnv(k *kernel.Kernel, ex core.Executor, a App) *Env {
 // given factor. Overhead experiments (Fig. 13) use larger scales so the
 // workload is compute-dominated, matching the paper's 1.7 MB inputs;
 // functional tests use scale 1 for speed.
-func NewEnvScaled(k *kernel.Kernel, ex core.Executor, a App, scale int) *Env {
+func NewEnvScaled(k *kernel.Kernel, ex core.Caller, a App, scale int) *Env {
 	if scale < 1 {
 		scale = 1
 	}

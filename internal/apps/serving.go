@@ -1,0 +1,164 @@
+package apps
+
+import (
+	"fmt"
+	"sync"
+
+	"freepart.dev/freepart/internal/core"
+	"freepart.dev/freepart/internal/framework"
+	"freepart.dev/freepart/internal/framework/simcv"
+	"freepart.dev/freepart/internal/object"
+	"freepart.dev/freepart/internal/workload"
+)
+
+// detectionModelKey names the shared classifier in the executor's store.
+const detectionModelKey = "simcv/cascade-classifier"
+
+// DetectionRequest is one user's image submission to the detection service
+// (the long-running server of §4.4.2 / §5.3, generalized to many
+// concurrent users).
+type DetectionRequest struct {
+	// User identifies the submitting client.
+	User int
+	// Body is the encoded image.
+	Body []byte
+}
+
+// GenDetectionRequests produces a deterministic request stream: n encoded
+// images of varying size from a seeded generator, so every serving run over
+// the same seed sees byte-identical inputs.
+func GenDetectionRequests(seed int64, n int) []DetectionRequest {
+	gen := workload.New(seed)
+	out := make([]DetectionRequest, n)
+	for i := range out {
+		// Cycle image sizes so the latency distribution has real spread
+		// (percentiles over identical requests would collapse to one
+		// value). The period 5 is coprime to every shard count in the
+		// scaling sweep (1/2/4/8), so round-robin placement never pins one
+		// size class to one shard.
+		size := 12 + (i%5)*3
+		out[i] = DetectionRequest{User: i + 1, Body: gen.EncodedImage(size, size, 1)}
+	}
+	return out
+}
+
+// DetectionResult is the service's answer to one request.
+type DetectionResult struct {
+	// User echoes the requesting client.
+	User int
+	// Objects is the detection count.
+	Objects int
+	// Err is set when the request failed (e.g. a malicious image crashed
+	// the loading agent); other requests are unaffected.
+	Err error
+}
+
+// DetectionServer is the session-sharded detection service: one classifier
+// model interned once in the executor's read-only store and loaded on every
+// shard, with requests fanned out across shards through sessions.
+type DetectionServer struct {
+	// Ex is the serving pool.
+	Ex *core.Executor
+
+	models []core.Handle // per-shard loaded model
+}
+
+// ProvisionDetection builds the service on an executor: the classifier
+// bytes are built exactly once (copy-on-write shared across shards via the
+// store), then each shard loads the model into its own runtime.
+func ProvisionDetection(ex *core.Executor) (*DetectionServer, error) {
+	im, err := ex.Store().Intern(detectionModelKey, object.KindBlob, nil, func() ([]byte, error) {
+		return simcv.EncodeClassifier(150, 4), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	srv := &DetectionServer{Ex: ex, models: make([]core.Handle, ex.Shards())}
+	for i := 0; i < ex.Shards(); i++ {
+		sh := ex.Shard(i)
+		sh.K.FS.WriteFile("/srv/model.xml", im.Bytes())
+		h, _, err := sh.Ex.Call("cv.CascadeClassifier", framework.Str("/srv/model.xml"))
+		if err != nil {
+			return nil, fmt.Errorf("apps: shard %d model load: %w", i, err)
+		}
+		if len(h) == 0 {
+			return nil, fmt.Errorf("apps: shard %d model load returned no handle", i)
+		}
+		srv.models[i] = h[0]
+	}
+	return srv, nil
+}
+
+// Serve answers every request. Sessions are opened in request order (so
+// shard placement is round-robin and deterministic), then each shard
+// drains its requests in arrival order on its own goroutine. Per-shard
+// FIFO matters for determinism, not just fairness: a request's virtual
+// latency includes the temporal-permission sealing of the previous
+// request's objects on that shard, so reordering within a shard would
+// shuffle nanoseconds between adjacent samples. Shards still serve
+// concurrently with each other. Results come back in request order.
+func (srv *DetectionServer) Serve(reqs []DetectionRequest) []DetectionResult {
+	byShard := make([][]int, srv.Ex.Shards())
+	sessions := make([]*core.Session, len(reqs))
+	for i := range reqs {
+		sessions[i] = srv.Ex.Session()
+		id := sessions[i].Shard().ID
+		byShard[id] = append(byShard[id], i)
+	}
+	results := make([]DetectionResult, len(reqs))
+	var wg sync.WaitGroup
+	for _, queue := range byShard {
+		wg.Add(1)
+		go func(queue []int) {
+			defer wg.Done()
+			for _, i := range queue {
+				results[i] = srv.serveOne(sessions[i], i, reqs[i])
+			}
+		}(queue)
+	}
+	wg.Wait()
+	return results
+}
+
+// serveOne runs one detection invocation on the request's session shard:
+// store the upload in the shard's filesystem, decode it, detect.
+func (srv *DetectionServer) serveOne(s *core.Session, i int, rq DetectionRequest) DetectionResult {
+	res := DetectionResult{User: rq.User}
+	res.Err = s.Do(func(sh *core.Shard) error {
+		path := fmt.Sprintf("/srv/req-%d.img", i)
+		sh.K.FS.WriteFile(path, rq.Body)
+		img, _, err := sh.Ex.Call("cv.imread", framework.Str(path))
+		if err != nil {
+			// Availability first (§4.4.2): revive the shard's crashed
+			// agent so the next request on this shard is served.
+			if sh.Rt != nil {
+				_ = sh.Rt.RestartDead()
+			}
+			return err
+		}
+		_, plain, err := sh.Ex.Call("cv.CascadeClassifier.detectMultiScale",
+			srv.models[sh.ID].Value(), img[0].Value())
+		if err != nil {
+			if sh.Rt != nil {
+				_ = sh.Rt.RestartDead()
+			}
+			return err
+		}
+		if len(plain) > 0 {
+			res.Objects = int(plain[0].Int)
+		}
+		return nil
+	})
+	return res
+}
+
+// Served counts successful results.
+func Served(results []DetectionResult) int {
+	n := 0
+	for _, r := range results {
+		if r.Err == nil {
+			n++
+		}
+	}
+	return n
+}

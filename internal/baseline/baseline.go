@@ -61,7 +61,7 @@ func (k Kind) String() string {
 
 // System is a baseline isolation deployment: processes, the API→process
 // map, critical-data placement, and accounting. It implements
-// core.Executor so the evaluation apps run on it unchanged.
+// core.Caller so the evaluation apps run on it unchanged.
 type System struct {
 	Kind    Kind
 	K       *kernel.Kernel
@@ -221,7 +221,7 @@ func (s *System) allocCode(api string) error {
 	return nil
 }
 
-// Call implements core.Executor: run the API in its home process,
+// Call implements core.Caller: run the API in its home process,
 // accounting IPC and data movement per the technique's policy.
 func (s *System) Call(apiName string, args ...framework.Value) ([]core.Handle, []framework.Value, error) {
 	api, ok := s.Reg.Get(apiName)
@@ -334,7 +334,7 @@ type ownerRef struct {
 	id  uint64
 }
 
-// Fetch implements core.Executor.
+// Fetch implements core.Caller.
 func (s *System) Fetch(h core.Handle) ([]byte, error) {
 	gid := core.BaselineHandleID(h)
 	ref, o, err := s.findRef(gid)

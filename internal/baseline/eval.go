@@ -244,7 +244,7 @@ type Perf struct {
 // omrWorkload drives the motivating-example pipeline: per sheet, load →
 // preprocess → per-bubble template reads (the hot loop) → annotate → show
 // → store.
-func omrWorkload(k *kernel.Kernel, ex core.Executor, readTemplate func(off, n int) ([]byte, error), sheets, questions, options, cell int) error {
+func omrWorkload(k *kernel.Kernel, ex core.Caller, readTemplate func(off, n int) ([]byte, error), sheets, questions, options, cell int) error {
 	if cell <= 0 {
 		cell = DefaultCell
 	}
@@ -416,6 +416,6 @@ var _ = metrics.New
 
 // RunOMRWorkload exposes the OMR measurement workload for external
 // harnesses (ablation studies, benches).
-func RunOMRWorkload(k *kernel.Kernel, ex core.Executor, readTemplate func(off, n int) ([]byte, error), sheets, questions, options int) error {
+func RunOMRWorkload(k *kernel.Kernel, ex core.Caller, readTemplate func(off, n int) ([]byte, error), sheets, questions, options int) error {
 	return omrWorkload(k, ex, readTemplate, sheets, questions, options, Cell)
 }

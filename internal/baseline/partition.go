@@ -72,7 +72,7 @@ func SplitHotPairPartitionOf(cat *analysis.Categorization) func(*framework.API) 
 // an input image", §3). Splitting that pair across partitions forces the
 // canvas to ping-pong, which is exactly the overhead cliff the paper
 // reports.
-func annotateWorkload(k *kernel.Kernel, ex core.Executor, sheets, questions, options, cell int) error {
+func annotateWorkload(k *kernel.Kernel, ex core.Caller, sheets, questions, options, cell int) error {
 	gen := workload.New(99)
 	for i := 0; i < sheets; i++ {
 		path := fmt.Sprintf("/omr/%03d.img", i)

@@ -143,9 +143,11 @@ func (h Handle) Value() framework.Value {
 	return framework.RefVal(h.ref)
 }
 
-// Executor abstracts the protected runtime and the unprotected Direct
+// Caller abstracts the protected runtime and the unprotected Direct
 // runner so application pipelines (internal/apps) run unchanged on both.
-type Executor interface {
+// (The concurrent serving pool that schedules sessions over many runtimes
+// is Executor, in executor.go.)
+type Caller interface {
 	// Call invokes a framework API, returning object handles and plain
 	// (scalar) results.
 	Call(api string, args ...framework.Value) ([]Handle, []framework.Value, error)

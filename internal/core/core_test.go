@@ -90,7 +90,7 @@ func TestPipelineEndToEnd(t *testing.T) {
 func TestProtectedMatchesDirect(t *testing.T) {
 	// The same pipeline produces byte-identical output under the runtime
 	// and the unprotected Direct runner (correctness of interposition).
-	run := func(ex core.Executor, k *kernel.Kernel) []byte {
+	run := func(ex core.Caller, k *kernel.Kernel) []byte {
 		imgs, _, err := ex.Call("cv.imread", framework.Str("/in.img"))
 		if err != nil {
 			t.Fatal(err)

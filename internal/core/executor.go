@@ -1,0 +1,226 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"freepart.dev/freepart/internal/analysis"
+	"freepart.dev/freepart/internal/framework"
+	"freepart.dev/freepart/internal/kernel"
+	"freepart.dev/freepart/internal/object"
+	"freepart.dev/freepart/internal/vclock"
+)
+
+// Shard is one runtime shard of the concurrent serving layer: its own
+// kernel (hence its own virtual clock, filesystem, and processes) plus a
+// Caller running on it — a full FreePart runtime for protected shards or a
+// Direct monolith for unprotected ones. Sessions pinned to a shard execute
+// serially on it, so the shard's framework state machine, agent tables,
+// and temporal permissions never interleave across tenants.
+type Shard struct {
+	// ID is the shard's index in its executor, fixed at construction.
+	ID int
+	// K is the shard-private kernel.
+	K *kernel.Kernel
+	// Ex is the caller running on this shard.
+	Ex Caller
+	// Rt is set when Ex is a FreePart runtime; nil for direct shards.
+	Rt *Runtime
+
+	mu   sync.Mutex
+	jobs uint64
+}
+
+// Clock returns the shard's virtual clock.
+func (s *Shard) Clock() *vclock.Clock { return s.K.Clock }
+
+// Jobs reports how many invocations the shard has executed.
+func (s *Shard) Jobs() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs
+}
+
+// ShardFactory builds the id-th shard of an executor. Factories must be
+// deterministic: shard id in, identical shard out, so an executor built
+// twice from the same factory behaves identically.
+type ShardFactory func(id int) (*Shard, error)
+
+// ProtectedShards returns a factory producing FreePart-protected shards:
+// each shard is a fresh kernel with a full runtime (host, agents, policies)
+// configured by cfg.
+//
+// Determinism note: cfg.Chaos binds a single injection engine to the first
+// shard's kernel clock, so chaos runs are replayable only at one shard
+// (the configuration the determinism tests pin); multi-shard chaos would
+// interleave one rng across independently scheduled shards.
+func ProtectedShards(reg *framework.Registry, cat *analysis.Categorization, cfg Config) ShardFactory {
+	return func(id int) (*Shard, error) {
+		k := kernel.New()
+		rt, err := New(k, reg, cat, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: shard %d: %w", id, err)
+		}
+		return &Shard{ID: id, K: k, Ex: rt, Rt: rt}, nil
+	}
+}
+
+// DirectShards returns a factory producing unprotected shards: each shard
+// is a fresh kernel running a Direct monolith. The unprotected comparison
+// point for serving-layer scaling numbers.
+func DirectShards(reg *framework.Registry) ShardFactory {
+	return func(id int) (*Shard, error) {
+		k := kernel.New()
+		return &Shard{ID: id, K: k, Ex: NewDirect(k, reg)}, nil
+	}
+}
+
+// Executor is the concurrent serving layer: a bounded worker pool over n
+// runtime shards. Sessions are assigned to shards round-robin; at most n
+// pipeline invocations run concurrently (one per shard worker), and
+// invocations pinned to the same shard serialize on it. Immutable
+// artifacts are shared across shards through the executor's read-only
+// object store instead of being rebuilt per shard.
+//
+// With n = 1 the executor degenerates to the synchronous path: one shard,
+// one worker, every invocation in submission order — byte-identical
+// outputs to calling the runtime directly.
+type Executor struct {
+	shards []*Shard
+	store  *object.Store
+	sem    chan struct{}
+	lat    *vclock.Latencies
+
+	mu       sync.Mutex
+	sessions int
+}
+
+// NewExecutor builds an executor over n shards produced by factory.
+func NewExecutor(n int, factory ShardFactory) (*Executor, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("core: executor needs n > 0 shards")
+	}
+	e := &Executor{
+		store: object.NewStore(),
+		sem:   make(chan struct{}, n),
+		lat:   &vclock.Latencies{},
+	}
+	for i := 0; i < n; i++ {
+		sh, err := factory(i)
+		if err != nil {
+			e.Close()
+			return nil, err
+		}
+		e.shards = append(e.shards, sh)
+	}
+	return e, nil
+}
+
+// Shards returns the shard count.
+func (e *Executor) Shards() int { return len(e.shards) }
+
+// Shard returns the i-th shard.
+func (e *Executor) Shard(i int) *Shard { return e.shards[i] }
+
+// Store returns the executor's shared read-only object store.
+func (e *Executor) Store() *object.Store { return e.store }
+
+// Latencies returns the per-invocation virtual latency distribution.
+func (e *Executor) Latencies() *vclock.Latencies { return e.lat }
+
+// CriticalPath returns the max-merge of all shard clocks — the virtual
+// wall-clock of the whole serving run (the slowest shard), which is what
+// throughput divides by. Per-shard work that ran in parallel does not sum.
+func (e *Executor) CriticalPath() vclock.Duration {
+	clocks := make([]*vclock.Clock, len(e.shards))
+	for i, sh := range e.shards {
+		clocks[i] = sh.K.Clock
+	}
+	return vclock.Max(clocks...)
+}
+
+// TotalWork returns the sum of all shard clocks — aggregate virtual compute
+// spent. TotalWork / CriticalPath is the run's effective parallelism.
+func (e *Executor) TotalWork() vclock.Duration {
+	var sum vclock.Duration
+	for _, sh := range e.shards {
+		sum += sh.K.Clock.Now()
+	}
+	return sum
+}
+
+// Session opens a session pinned to the next shard round-robin. Assignment
+// order is the order Session is called in, so sequential opens are
+// deterministic.
+func (e *Executor) Session() *Session {
+	e.mu.Lock()
+	id := e.sessions
+	e.sessions++
+	e.mu.Unlock()
+	return &Session{ID: id, ex: e, shard: e.shards[id%len(e.shards)]}
+}
+
+// Close shuts down every shard's runtime.
+func (e *Executor) Close() {
+	for _, sh := range e.shards {
+		if sh.Rt != nil {
+			sh.Rt.Close()
+		}
+	}
+}
+
+// Session is one client's stream of pipeline invocations. All of a
+// session's work runs on a single shard, so a client's framework state
+// (open captures, loaded models, intermediate objects) stays on one
+// runtime across invocations.
+type Session struct {
+	// ID is the session's global open order.
+	ID    int
+	ex    *Executor
+	shard *Shard
+}
+
+// Shard returns the shard this session is pinned to.
+func (s *Session) Shard() *Shard { return s.shard }
+
+// Do runs one pipeline invocation on the session's shard. Admission is
+// bounded by the executor's worker count; invocations on the same shard
+// serialize. The invocation's virtual latency — the shard clock's advance
+// while the job ran — is recorded in the executor's distribution.
+func (s *Session) Do(job func(sh *Shard) error) error {
+	s.ex.sem <- struct{}{}
+	defer func() { <-s.ex.sem }()
+
+	s.shard.mu.Lock()
+	defer s.shard.mu.Unlock()
+	start := s.shard.K.Clock.Now()
+	err := job(s.shard)
+	s.ex.lat.Add(s.shard.K.Clock.Now() - start)
+	s.shard.jobs++
+	return err
+}
+
+// Call implements Caller on the session: a single-API invocation submitted
+// through the pool. Pipelines of several calls should use Do so the whole
+// invocation is admitted (and its latency measured) as one unit.
+func (s *Session) Call(api string, args ...framework.Value) ([]Handle, []framework.Value, error) {
+	var handles []Handle
+	var plain []framework.Value
+	err := s.Do(func(sh *Shard) error {
+		var cerr error
+		handles, plain, cerr = sh.Ex.Call(api, args...)
+		return cerr
+	})
+	return handles, plain, err
+}
+
+// Fetch implements Caller on the session.
+func (s *Session) Fetch(h Handle) ([]byte, error) {
+	var out []byte
+	err := s.Do(func(sh *Shard) error {
+		var ferr error
+		out, ferr = sh.Ex.Fetch(h)
+		return ferr
+	})
+	return out, err
+}

@@ -23,7 +23,7 @@ func cleanPipeline(t *testing.T) []byte {
 	return runPipeline(t, d)
 }
 
-func runPipeline(t *testing.T, ex core.Executor) []byte {
+func runPipeline(t *testing.T, ex core.Caller) []byte {
 	t.Helper()
 	imgs, _, err := ex.Call("cv.imread", framework.Str("/in.img"))
 	if err != nil {

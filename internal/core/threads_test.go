@@ -132,6 +132,55 @@ func TestThreadsShareHostCriticalData(t *testing.T) {
 	}
 }
 
+// TestConcurrentCrossTypeCallsOneRuntime hammers a single runtime with
+// overlapping calls across every API type from many goroutines. Before the
+// seq-multiplexed IPC layer, two concurrent calls to one agent could steal
+// each other's responses; now the demux routes each response to its caller,
+// so one runtime safely serves concurrent work (verified under -race).
+func TestConcurrentCrossTypeCallsOneRuntime(t *testing.T) {
+	k, g := threadGroup(t, 1)
+	rt := g.Thread(0)
+	const workers = 8
+	for i := 0; i < workers; i++ {
+		writeImage(k, pathFor(i), 8, 8)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Each worker crosses all four API types: loading (imread),
+			// processing (GaussianBlur), visualizing (imshow), storing
+			// (imwrite) — on the SAME runtime, concurrently.
+			img, _, err := rt.Call("cv.imread", framework.Str(pathFor(i)))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			blur, _, err := rt.Call("cv.GaussianBlur", img[0].Value())
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if _, _, err := rt.Call("cv.imshow", framework.Str(pathFor(i)), blur[0].Value()); err != nil {
+				errs[i] = err
+				return
+			}
+			_, _, errs[i] = rt.Call("cv.imwrite", framework.Str(pathFor(i)+".out"), blur[0].Value())
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+		if !k.FS.Exists(pathFor(i) + ".out") {
+			t.Fatalf("worker %d produced no output", i)
+		}
+	}
+}
+
 func TestThreadGroupInvalidSize(t *testing.T) {
 	k := kernel.New()
 	reg := all.Registry()

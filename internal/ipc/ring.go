@@ -8,7 +8,9 @@
 // rings, blocking producers/consumers, per-channel byte accounting — using
 // condition variables as the futex stand-in, and layers the paper's RPC
 // semantics on top: exactly-once in normal operation (§4.3) and
-// at-least-once across agent restarts (§4.4.2).
+// at-least-once across agent restarts (§4.4.2). Calls are seq-multiplexed
+// (a demux goroutine matches responses to outstanding sequence numbers),
+// so one agent connection serves any number of overlapping callers.
 package ipc
 
 import (

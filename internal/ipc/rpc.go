@@ -66,6 +66,12 @@ type CallStats struct {
 // agent process, built on two rings. The server side runs in its own
 // goroutine (Serve); the client side issues synchronous Calls.
 //
+// Pipelining: calls are seq-multiplexed. A demux goroutine matches each
+// response to the outstanding sequence number that is waiting for it, so
+// any number of goroutines can have overlapping calls in flight on one
+// connection — requests queue in the ring and the agent serves them
+// back-to-back without lock-stepping on the caller's round trip.
+//
 // Exactly-once: every request carries a sequence number; the server caches
 // the response to each sequence it has completed, so a retried request
 // (sent because the client saw a crash after the agent may or may not have
@@ -88,18 +94,24 @@ type Conn struct {
 	inject    Injector
 	deadline  time.Duration
 	peerAlive func() bool
+	pending   map[uint64]chan Message // outstanding calls awaiting a response
+
+	demuxOnce sync.Once
+	demuxDone chan struct{}
 }
 
 // NewConn creates a connection with the given ring capacity. clock may be
 // nil to skip virtual-time charging (unit tests).
 func NewConn(capacity int, clock *vclock.Clock, cost vclock.CostModel) *Conn {
 	return &Conn{
-		req:     NewRing(capacity),
-		resp:    NewRing(capacity),
-		clock:   clock,
-		cost:    cost,
-		done:    make(map[uint64][]byte),
-		doneCap: 1024,
+		req:       NewRing(capacity),
+		resp:      NewRing(capacity),
+		clock:     clock,
+		cost:      cost,
+		done:      make(map[uint64][]byte),
+		doneCap:   1024,
+		pending:   make(map[uint64]chan Message),
+		demuxDone: make(chan struct{}),
 	}
 }
 
@@ -145,6 +157,100 @@ func sum64(p []byte) uint64 {
 // pollInterval is how often a waiting Call re-checks peer liveness and its
 // deadline.
 const pollInterval = 20 * time.Millisecond
+
+// startDemux launches the response demultiplexer on first use. Lazy so
+// connections that only ever Serve (pure server side) pay nothing.
+func (c *Conn) startDemux() {
+	c.demuxOnce.Do(func() { go c.demux() })
+}
+
+// demux is the client side's response-matching loop: every message on the
+// response ring is routed to the outstanding call registered under its
+// sequence number. Responses for abandoned sequences (a timed-out call
+// whose answer arrived late, or a duplicate the dedup cache answered twice)
+// are dropped. Exits — releasing every waiter — when the ring closes.
+func (c *Conn) demux() {
+	defer close(c.demuxDone)
+	for {
+		m, err := c.resp.Recv()
+		if err != nil {
+			return
+		}
+		c.mu.Lock()
+		ch := c.pending[m.Seq]
+		c.mu.Unlock()
+		if ch == nil {
+			continue // nobody is waiting for this sequence anymore
+		}
+		select {
+		case ch <- m:
+		default:
+			// The waiter's buffer already holds an answer for this seq
+			// (duplicated response); it needs only one.
+		}
+	}
+}
+
+// await registers seq as outstanding and returns the channel its response
+// will arrive on. Must be called before the request is sent, so a fast
+// server cannot answer into the void.
+func (c *Conn) await(seq uint64) chan Message {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ch, ok := c.pending[seq]
+	if !ok {
+		ch = make(chan Message, 1)
+		c.pending[seq] = ch
+	}
+	return ch
+}
+
+// abandon deregisters an outstanding sequence; late responses for it are
+// dropped by demux.
+func (c *Conn) abandon(seq uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.pending, seq)
+}
+
+// waitResponse blocks until the response for seq arrives on ch, honoring
+// the call deadline and the peer-liveness probe.
+func (c *Conn) waitResponse(seq uint64, ch chan Message, deadline time.Duration, alive func() bool) (Message, error) {
+	if deadline <= 0 && alive == nil {
+		select {
+		case m := <-ch:
+			return m, nil
+		case <-c.demuxDone:
+			return Message{}, ErrClosed
+		}
+	}
+	start := time.Now()
+	for {
+		poll := pollInterval
+		if deadline > 0 {
+			remain := deadline - time.Since(start)
+			if remain <= 0 {
+				return Message{}, fmt.Errorf("%w: seq %d after %v", ErrTimeout, seq, deadline)
+			}
+			if remain < poll {
+				poll = remain
+			}
+		}
+		t := time.NewTimer(poll)
+		select {
+		case m := <-ch:
+			t.Stop()
+			return m, nil
+		case <-c.demuxDone:
+			t.Stop()
+			return Message{}, ErrClosed
+		case <-t.C:
+			if alive != nil && !alive() {
+				return Message{}, fmt.Errorf("%w: seq %d", ErrPeerDead, seq)
+			}
+		}
+	}
+}
 
 // Serve runs the server loop: receive, verify, execute (with dedup),
 // respond. It returns when the request ring is closed. Run it in a
@@ -233,9 +339,14 @@ func (c *Conn) Retry(seq uint64, kind uint32, payload []byte) ([]byte, error) {
 func (c *Conn) LastSeq() uint64 { return c.seq.Load() }
 
 func (c *Conn) callSeq(seq uint64, kind uint32, payload []byte, retry bool) ([]byte, error) {
+	c.startDemux()
 	c.mu.Lock()
 	inject, deadline, alive := c.inject, c.deadline, c.peerAlive
 	c.mu.Unlock()
+
+	// Register before sending: a fast server must find the waiter in place.
+	ch := c.await(seq)
+	defer c.abandon(seq)
 
 	send := payload
 	if inject != nil {
@@ -268,90 +379,62 @@ func (c *Conn) callSeq(seq uint64, kind uint32, payload []byte, retry bool) ([]b
 		}
 	}
 
-	start := time.Now()
-	for {
-		var m Message
-		if deadline > 0 || alive != nil {
-			poll := pollInterval
-			if deadline > 0 {
-				if remain := deadline - time.Since(start); remain < poll {
-					poll = remain
-				}
-			}
-			if poll <= 0 {
-				return nil, fmt.Errorf("%w: seq %d after %v", ErrTimeout, seq, deadline)
-			}
-			got, timedOut, err := c.resp.RecvTimeout(poll)
-			if err != nil {
-				return nil, err
-			}
-			if timedOut {
-				if alive != nil && !alive() {
-					return nil, fmt.Errorf("%w: seq %d", ErrPeerDead, seq)
-				}
-				if deadline > 0 && time.Since(start) >= deadline {
-					return nil, fmt.Errorf("%w: seq %d after %v", ErrTimeout, seq, deadline)
-				}
-				continue
-			}
-			m = got
-		} else {
-			got, err := c.resp.Recv()
-			if err != nil {
-				return nil, err
-			}
-			m = got
+	m, err := c.waitResponse(seq, ch, deadline, alive)
+	if err != nil {
+		return nil, err
+	}
+	if inject != nil {
+		f := inject.ResponseFault(seq, m.Payload)
+		if f.Stall > 0 && c.clock != nil {
+			c.clock.Advance(f.Stall)
 		}
-		if m.Seq != seq {
-			// A response for an abandoned request (e.g. a crash retry
-			// overtaking a stale completion); drop it.
-			continue
-		}
-		if inject != nil {
-			f := inject.ResponseFault(seq, m.Payload)
-			if f.Stall > 0 && c.clock != nil {
-				c.clock.Advance(f.Stall)
+		if f.Drop {
+			if c.clock != nil {
+				c.clock.Advance(c.cost.IPCTimeout)
 			}
-			if f.Drop {
-				if c.clock != nil {
-					c.clock.Advance(c.cost.IPCTimeout)
-				}
-				return nil, fmt.Errorf("%w: response seq %d lost", ErrTimeout, seq)
-			}
-			if f.Corrupt {
-				m.Payload = corrupted(m.Payload)
-			}
+			return nil, fmt.Errorf("%w: response seq %d lost", ErrTimeout, seq)
 		}
-		c.mu.Lock()
-		c.stats.Calls++
-		if retry {
-			c.stats.Retries++
-		}
-		c.stats.BytesRequest += uint64(len(payload))
-		c.stats.BytesResponse += uint64(len(m.Payload))
-		c.mu.Unlock()
-		if c.clock != nil {
-			c.clock.Advance(c.cost.IPCRoundTrip)
-			c.clock.Advance(c.cost.CopyCost(len(payload) + len(m.Payload)))
-		}
-		if m.Kind == respKindCorrupt || sum64(m.Payload) != m.Sum {
-			return nil, fmt.Errorf("%w: seq %d", ErrCorrupt, seq)
-		}
-		if m.Kind == respKindCrash {
-			return nil, fmt.Errorf("%w: %s", ErrAgentCrashed, m.Payload)
-		}
-		if len(m.Payload) == 0 {
-			return nil, errors.New("ipc: malformed empty response")
-		}
-		switch m.Payload[0] {
-		case '=':
-			return m.Payload[1:], nil
-		case '!':
-			return nil, errors.New(string(m.Payload[1:]))
-		default:
-			return nil, fmt.Errorf("ipc: malformed response tag %q", m.Payload[0])
+		if f.Corrupt {
+			m.Payload = corrupted(m.Payload)
 		}
 	}
+	c.mu.Lock()
+	c.stats.Calls++
+	if retry {
+		c.stats.Retries++
+	}
+	c.stats.BytesRequest += uint64(len(payload))
+	c.stats.BytesResponse += uint64(len(m.Payload))
+	c.mu.Unlock()
+	if c.clock != nil {
+		c.clock.Advance(c.cost.IPCRoundTrip)
+		c.clock.Advance(c.cost.CopyCost(len(payload) + len(m.Payload)))
+	}
+	if m.Kind == respKindCorrupt || sum64(m.Payload) != m.Sum {
+		return nil, fmt.Errorf("%w: seq %d", ErrCorrupt, seq)
+	}
+	if m.Kind == respKindCrash {
+		return nil, fmt.Errorf("%w: %s", ErrAgentCrashed, m.Payload)
+	}
+	if len(m.Payload) == 0 {
+		return nil, errors.New("ipc: malformed empty response")
+	}
+	switch m.Payload[0] {
+	case '=':
+		return m.Payload[1:], nil
+	case '!':
+		return nil, errors.New(string(m.Payload[1:]))
+	default:
+		return nil, fmt.Errorf("ipc: malformed response tag %q", m.Payload[0])
+	}
+}
+
+// InFlight reports how many calls are currently outstanding (pipelined) on
+// this connection.
+func (c *Conn) InFlight() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pending)
 }
 
 // corrupted returns a copy of p with one byte flipped (or a poison byte for

@@ -48,6 +48,36 @@ func (c *Clock) Advance(d Duration) Duration {
 	return c.now
 }
 
+// Observe merges an externally observed virtual time into this clock:
+// now = max(now, t). This is the max-merge join rule for per-shard clocks —
+// when a serving run joins its shards, the merged reading is critical-path
+// time (the slowest shard), not the sum of all shards' work. Returns the
+// post-merge time.
+func (c *Clock) Observe(t Duration) Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t > c.now {
+		c.now = t
+	}
+	return c.now
+}
+
+// Max returns the latest current time across the given clocks — the
+// executor-join critical path. Nil clocks are skipped; no clocks reads as
+// zero.
+func Max(clocks ...*Clock) Duration {
+	var out Duration
+	for _, c := range clocks {
+		if c == nil {
+			continue
+		}
+		if t := c.Now(); t > out {
+			out = t
+		}
+	}
+	return out
+}
+
 // Reset rewinds the clock to zero. Intended for test and experiment setup.
 func (c *Clock) Reset() {
 	c.mu.Lock()

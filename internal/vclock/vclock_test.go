@@ -152,3 +152,67 @@ func TestPerAPIIsolationRatioShape(t *testing.T) {
 		t.Fatalf("per-API isolation ratio = %.2f, want within [1.8, 3.0]", ratio)
 	}
 }
+
+// --- per-shard clock merging ---
+
+func TestObserveMaxMerge(t *testing.T) {
+	c := New()
+	c.Advance(100)
+	if got := c.Observe(50); got != 100 {
+		t.Fatalf("observe(50) = %v, want 100 (merge never rewinds)", got)
+	}
+	if got := c.Observe(250); got != 250 {
+		t.Fatalf("observe(250) = %v, want 250", got)
+	}
+	if c.Now() != 250 {
+		t.Fatalf("now = %v, want 250", c.Now())
+	}
+}
+
+func TestMaxAcrossClocks(t *testing.T) {
+	a, b, c := New(), New(), New()
+	a.Advance(10)
+	b.Advance(300)
+	c.Advance(42)
+	if got := Max(a, nil, b, c); got != 300 {
+		t.Fatalf("Max = %v, want 300 (critical path)", got)
+	}
+	if got := Max(); got != 0 {
+		t.Fatalf("Max() = %v, want 0", got)
+	}
+}
+
+func TestLatencyPercentiles(t *testing.T) {
+	l := &Latencies{}
+	for i := 1; i <= 100; i++ {
+		l.Add(Duration(i))
+	}
+	if l.Len() != 100 {
+		t.Fatalf("len = %d", l.Len())
+	}
+	for _, tc := range []struct {
+		p    float64
+		want Duration
+	}{{50, 50}, {95, 95}, {99, 99}, {0, 1}, {100, 100}} {
+		if got := l.Percentile(tc.p); got != tc.want {
+			t.Fatalf("p%v = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+	if l.P50() != 50 || l.P95() != 95 || l.P99() != 99 {
+		t.Fatalf("named percentiles wrong: %v", l)
+	}
+	if l.Mean() != 50 { // (1+...+100)/100 = 50.5 truncated
+		t.Fatalf("mean = %v, want 50", l.Mean())
+	}
+}
+
+func TestLatencyEmptyAndNegative(t *testing.T) {
+	l := &Latencies{}
+	if l.P99() != 0 || l.Mean() != 0 {
+		t.Fatal("empty distribution must read zero")
+	}
+	l.Add(-5)
+	if l.P50() != 0 {
+		t.Fatalf("negative sample must clamp to zero, got %v", l.P50())
+	}
+}
