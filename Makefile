@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race soak bench serving
+.PHONY: check vet build test race soak shardsoak bench serving failover
 
-check: vet build race soak
+check: vet build race soak shardsoak
 
 vet:
 	$(GO) vet ./...
@@ -24,6 +24,12 @@ race:
 soak:
 	$(GO) test -run TestChaosSoak -count=1 ./internal/chaos/
 
+# Multi-shard chaos soak under the race detector: several seeds across 4
+# shards with one shard crash-looping; outputs must match the fault-free
+# baseline and per-shard injection logs must replay byte-equal.
+shardsoak:
+	$(GO) test -race -run TestMultiShardChaosSoak -count=1 ./internal/chaos/
+
 bench:
 	$(GO) test -bench=. -benchmem
 
@@ -31,3 +37,9 @@ bench:
 # pipeline, written to BENCH_serving.json (virtual-time RPS + percentiles).
 serving:
 	$(GO) run ./cmd/experiments -exp serving -json BENCH_serving.json
+
+# Failover drill: the detection stream served undisturbed and with one
+# shard killed mid-window, written to BENCH_failover.json (RPS/p99 with
+# and without the kill, drains, migrations).
+failover:
+	$(GO) run ./cmd/experiments -exp failover -json BENCH_failover.json

@@ -7,7 +7,7 @@
 //	experiments -exp fig13 -scale 8
 //
 // Experiments: table1..table12, fig4, fig6, fig7, fig13, a14, security,
-// robustness, serving.
+// robustness, serving, failover.
 package main
 
 import (
@@ -26,7 +26,7 @@ func main() {
 	scale := flag.Int("scale", 8, "input image scale for overhead runs (fig13)")
 	maxK := flag.Int("maxk", 12, "largest partition count in the fig4 sweep")
 	requests := flag.Int("requests", 64, "request-stream length for the serving experiment")
-	jsonOut := flag.String("json", "", "write the serving experiment's rows as JSON to this path")
+	jsonOut := flag.String("json", "", "write the serving/failover experiment's rows as JSON to this path")
 	flag.Parse()
 
 	runners := map[string]func() (string, error){
@@ -52,6 +52,7 @@ func main() {
 		"security":   report.SecurityMatrix,
 		"robustness": func() (string, error) { return report.TableRobustness(5, *sheets) },
 		"serving":    func() (string, error) { return report.TableServing(*requests, *jsonOut) },
+		"failover":   func() (string, error) { return report.TableFailover(*requests, *jsonOut) },
 	}
 
 	if *exp != "" {

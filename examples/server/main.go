@@ -11,14 +11,23 @@
 // -concurrency runtime shards, printing virtual-time throughput and
 // latency percentiles from the merged per-shard clocks.
 //
+// Pass -kill-shard to stage a failover drill: the named shard is killed at
+// the given virtual time into the serving run, its sessions migrate to a
+// replacement through the portable checkpoint store, and the demo prints how
+// many sessions moved and what the failover added to the p99 latency.
+//
 //	go run ./examples/server
 //	go run ./examples/server -concurrency 4 -requests 64
+//	go run ./examples/server -concurrency 4 -requests 64 -kill-shard 2@1ms
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"strconv"
+	"strings"
+	"time"
 
 	"freepart.dev/freepart/internal/analysis"
 	"freepart.dev/freepart/internal/attack"
@@ -27,6 +36,7 @@ import (
 	"freepart.dev/freepart/internal/framework/all"
 	"freepart.dev/freepart/internal/framework/simcv"
 	"freepart.dev/freepart/internal/kernel"
+	"freepart.dev/freepart/internal/vclock"
 	"freepart.dev/freepart/internal/workload"
 
 	"freepart.dev/freepart/internal/apps"
@@ -35,7 +45,14 @@ import (
 func main() {
 	concurrency := flag.Int("concurrency", 4, "runtime shards in the serving pool")
 	requests := flag.Int("requests", 32, "requests in the serving-mode stream")
+	killShard := flag.String("kill-shard", "", "failover drill: kill shard <id> at virtual time <d> into the run, e.g. 2@1ms")
 	flag.Parse()
+	if *killShard != "" {
+		// Fail a typo fast, before the demo acts run.
+		if _, _, err := parseKillSpec(*killShard, *concurrency); err != nil {
+			log.Fatalf("-kill-shard: %v", err)
+		}
+	}
 
 	fmt.Println("=== unprotected server ===")
 	serve(false)
@@ -44,7 +61,25 @@ func main() {
 	serve(true)
 	fmt.Println()
 	fmt.Printf("=== FreePart serving mode (%d shards) ===\n", *concurrency)
-	serveConcurrent(*concurrency, *requests)
+	serveConcurrent(*concurrency, *requests, *killShard)
+}
+
+// parseKillSpec splits a -kill-shard value of the form "<id>@<duration>",
+// e.g. "2@1ms": kill shard 2 one virtual millisecond into the serving run.
+func parseKillSpec(spec string, shards int) (int, vclock.Duration, error) {
+	idPart, atPart, ok := strings.Cut(spec, "@")
+	if !ok {
+		return 0, 0, fmt.Errorf("want <id>@<duration>, e.g. 2@1ms; got %q", spec)
+	}
+	id, err := strconv.Atoi(idPart)
+	if err != nil || id < 0 || id >= shards {
+		return 0, 0, fmt.Errorf("shard id %q out of range [0,%d)", idPart, shards)
+	}
+	at, err := time.ParseDuration(atPart)
+	if err != nil || at <= 0 {
+		return 0, 0, fmt.Errorf("bad kill time %q: want a positive duration like 1ms", atPart)
+	}
+	return id, vclock.Duration(at), nil
 }
 
 // request is one user's submission.
@@ -129,24 +164,68 @@ func serve(protected bool) {
 // serveConcurrent runs the session-sharded serving layer: n protected
 // runtime shards behind a core.Executor, one model build shared across all
 // shards via the read-only object store, and a deterministic request
-// stream fanned out through sessions.
-func serveConcurrent(shards, requests int) {
+// stream fanned out through sessions. A non-empty killSpec stages a failover
+// drill on top: the same stream is first served undisturbed to establish the
+// baseline p99, then re-served with the named shard killed at the given
+// virtual time.
+func serveConcurrent(shards, requests int, killSpec string) {
+	reqs := apps.GenDetectionRequests(11, requests)
+
+	var killID int
+	var killAt vclock.Duration
+	var baseP99 vclock.Duration
+	if killSpec != "" {
+		var err error
+		killID, killAt, err = parseKillSpec(killSpec, shards)
+		if err != nil {
+			log.Fatalf("-kill-shard: %v", err)
+		}
+		bex, p99 := serveStream(shards, reqs, -1, 0, false)
+		bex.Close()
+		baseP99 = p99
+	}
+
+	ex, p99 := serveStream(shards, reqs, killID, killAt, killSpec != "")
+	defer ex.Close()
+
+	if killSpec != "" {
+		m := ex.Metrics().Snapshot()
+		fmt.Printf("failover drill: killed shard %d at +%v\n", killID, killAt)
+		fmt.Printf("shards drained: %d, sessions migrated: %d (failed: %d)\n",
+			m.ShardDrains, m.Migrations, m.FailedMigrations)
+		for _, ev := range ex.FailoverEventsFor(killID) {
+			fmt.Printf("  [%v] shard %d gen %d: %s %s\n", ev.At, ev.Shard, ev.Gen, ev.Kind, ev.Detail)
+		}
+		fmt.Printf("added p99: %v (baseline %v, with failover %v)\n", p99-baseP99, baseP99, p99)
+	}
+}
+
+// serveStream provisions a fresh executor, serves reqs, and prints the
+// serving summary. With kill set, the shard killID is scheduled to die at
+// virtual time killAt into the run. Returns the executor (caller closes) and
+// the observed p99.
+func serveStream(shards int, reqs []apps.DetectionRequest, killID int, killAt vclock.Duration, kill bool) (*core.Executor, vclock.Duration) {
 	reg := all.Registry()
 	cat := analysis.New(reg, nil).Categorize()
 	ex, err := core.NewExecutor(shards, core.ProtectedShards(reg, cat, core.Default()))
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer ex.Close()
-
 	srv, err := apps.ProvisionDetection(ex)
 	if err != nil {
 		log.Fatal(err)
 	}
 	st := ex.Store().Stats()
 	fmt.Printf("model interned: %d build(s) serving %d shards read-only\n", st.Builds, ex.Shards())
+	// Measure the serving window, not the (identical per shard) boot cost.
+	for i := 0; i < ex.Shards(); i++ {
+		ex.Shard(i).K.Clock.Reset()
+	}
+	if kill {
+		ex.SetHealthPolicy(core.HealthPolicy{FailThreshold: 1})
+		ex.ScheduleKill(killID, killAt)
+	}
 
-	reqs := apps.GenDetectionRequests(11, requests)
 	results := srv.Serve(reqs)
 	for _, r := range results {
 		if r.Err != nil {
@@ -161,6 +240,7 @@ func serveConcurrent(shards, requests int) {
 		fmt.Printf("critical path: %v (%.1f requests per virtual second, parallelism %.2f)\n",
 			crit, float64(len(reqs))/crit.Seconds(), float64(ex.TotalWork())/float64(crit))
 	}
+	return ex, lat.P99()
 }
 
 func short(err error) string {

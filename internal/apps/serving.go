@@ -3,11 +3,13 @@ package apps
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"freepart.dev/freepart/internal/core"
 	"freepart.dev/freepart/internal/framework"
 	"freepart.dev/freepart/internal/framework/simcv"
 	"freepart.dev/freepart/internal/object"
+	"freepart.dev/freepart/internal/vclock"
 	"freepart.dev/freepart/internal/workload"
 )
 
@@ -22,7 +24,17 @@ type DetectionRequest struct {
 	User int
 	// Body is the encoded image.
 	Body []byte
+	// Arrival is the request's arrival time on the virtual timeline. A
+	// request admitted after its arrival (the shard was busy) accrues
+	// queueing delay; an idle shard's clock advances to the arrival. Zero
+	// means "arrived at admission" — no modeled queueing delay.
+	Arrival vclock.Duration
 }
+
+// reqInterArrival spaces the generated open-loop request stream: clients
+// submit on their own schedule regardless of server backlog, which is what
+// makes queueing delay visible in the latency percentiles.
+const reqInterArrival = 60 * time.Microsecond
 
 // GenDetectionRequests produces a deterministic request stream: n encoded
 // images of varying size from a seeded generator, so every serving run over
@@ -37,7 +49,11 @@ func GenDetectionRequests(seed int64, n int) []DetectionRequest {
 		// scaling sweep (1/2/4/8), so round-robin placement never pins one
 		// size class to one shard.
 		size := 12 + (i%5)*3
-		out[i] = DetectionRequest{User: i + 1, Body: gen.EncodedImage(size, size, 1)}
+		out[i] = DetectionRequest{
+			User:    i + 1,
+			Body:    gen.EncodedImage(size, size, 1),
+			Arrival: vclock.Duration(i+1) * reqInterArrival,
+		}
 	}
 	return out
 }
@@ -60,12 +76,41 @@ type DetectionServer struct {
 	// Ex is the serving pool.
 	Ex *core.Executor
 
+	mu     sync.Mutex
 	models []core.Handle // per-shard loaded model
+	im     *object.Immutable
+}
+
+// loadModel writes the interned classifier into sh's filesystem and loads
+// it, recording the resulting per-shard handle.
+func (srv *DetectionServer) loadModel(sh *core.Shard) error {
+	sh.K.FS.WriteFile("/srv/model.xml", srv.im.Bytes())
+	h, _, err := sh.Ex.Call("cv.CascadeClassifier", framework.Str("/srv/model.xml"))
+	if err != nil {
+		return fmt.Errorf("apps: shard %d model load: %w", sh.ID, err)
+	}
+	if len(h) == 0 {
+		return fmt.Errorf("apps: shard %d model load returned no handle", sh.ID)
+	}
+	srv.mu.Lock()
+	srv.models[sh.ID] = h[0]
+	srv.mu.Unlock()
+	return nil
+}
+
+// model returns the classifier handle currently loaded on shard id.
+func (srv *DetectionServer) model(id int) core.Handle {
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	return srv.models[id]
 }
 
 // ProvisionDetection builds the service on an executor: the classifier
 // bytes are built exactly once (copy-on-write shared across shards via the
-// store), then each shard loads the model into its own runtime.
+// store), then each shard loads the model into its own runtime. The same
+// load runs again on every replacement shard (via the executor's OnReplace
+// hook), so a failed-over shard serves with its model in place before any
+// migrated session's first request.
 func ProvisionDetection(ex *core.Executor) (*DetectionServer, error) {
 	im, err := ex.Store().Intern(detectionModelKey, object.KindBlob, nil, func() ([]byte, error) {
 		return simcv.EncodeClassifier(150, 4), nil
@@ -73,19 +118,13 @@ func ProvisionDetection(ex *core.Executor) (*DetectionServer, error) {
 	if err != nil {
 		return nil, err
 	}
-	srv := &DetectionServer{Ex: ex, models: make([]core.Handle, ex.Shards())}
+	srv := &DetectionServer{Ex: ex, models: make([]core.Handle, ex.Shards()), im: im}
 	for i := 0; i < ex.Shards(); i++ {
-		sh := ex.Shard(i)
-		sh.K.FS.WriteFile("/srv/model.xml", im.Bytes())
-		h, _, err := sh.Ex.Call("cv.CascadeClassifier", framework.Str("/srv/model.xml"))
-		if err != nil {
-			return nil, fmt.Errorf("apps: shard %d model load: %w", i, err)
+		if err := srv.loadModel(ex.Shard(i)); err != nil {
+			return nil, err
 		}
-		if len(h) == 0 {
-			return nil, fmt.Errorf("apps: shard %d model load returned no handle", i)
-		}
-		srv.models[i] = h[0]
 	}
+	ex.SetOnReplace(srv.loadModel)
 	return srv, nil
 }
 
@@ -121,10 +160,16 @@ func (srv *DetectionServer) Serve(reqs []DetectionRequest) []DetectionResult {
 }
 
 // serveOne runs one detection invocation on the request's session shard:
-// store the upload in the shard's filesystem, decode it, detect.
+// store the upload in the shard's filesystem, decode it, detect. The
+// request's arrival stamp feeds the admission path, so its recorded
+// latency is queueing delay plus service time.
 func (srv *DetectionServer) serveOne(s *core.Session, i int, rq DetectionRequest) DetectionResult {
 	res := DetectionResult{User: rq.User}
-	res.Err = s.Do(func(sh *core.Shard) error {
+	arrival := rq.Arrival
+	if arrival <= 0 {
+		arrival = -1 // no stamp: arrives at admission
+	}
+	res.Err = s.DoAt(arrival, func(sh *core.Shard) error {
 		path := fmt.Sprintf("/srv/req-%d.img", i)
 		sh.K.FS.WriteFile(path, rq.Body)
 		img, _, err := sh.Ex.Call("cv.imread", framework.Str(path))
@@ -137,7 +182,7 @@ func (srv *DetectionServer) serveOne(s *core.Session, i int, rq DetectionRequest
 			return err
 		}
 		_, plain, err := sh.Ex.Call("cv.CascadeClassifier.detectMultiScale",
-			srv.models[sh.ID].Value(), img[0].Value())
+			srv.model(sh.ID).Value(), img[0].Value())
 		if err != nil {
 			if sh.Rt != nil {
 				_ = sh.Rt.RestartDead()

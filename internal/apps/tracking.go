@@ -1,0 +1,194 @@
+package apps
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"freepart.dev/freepart/internal/core"
+	"freepart.dev/freepart/internal/framework"
+	"freepart.dev/freepart/internal/vclock"
+)
+
+// trackerBinding names the session-bound Kalman state tensor in the
+// executor's durable-handle registry — the thing failover migrates.
+const trackerBinding = "kalman-state"
+
+// TrackPoint is one measurement in a tracking stream.
+type TrackPoint struct {
+	X, Y float64
+}
+
+// TrackStream is one client's measurement stream. Tracking is the stateful
+// serving workload: every step folds into a Kalman state tensor held on
+// the session's shard, so a result depends on every measurement before it
+// — exactly the state that must survive shard failover.
+type TrackStream struct {
+	// User identifies the client.
+	User int
+	// Start seeds the filter state with the first known position.
+	Start TrackPoint
+	// Points are the measurements, one per step.
+	Points []TrackPoint
+	// Arrivals stamps each step's arrival on the virtual timeline.
+	Arrivals []vclock.Duration
+}
+
+// GenTrackStreams produces n deterministic measurement streams of the
+// given length: positions follow per-user linear motion with a small
+// deterministic wobble, arrivals are uniformly spaced. Same inputs, same
+// streams — byte for byte.
+func GenTrackStreams(seed int64, n, steps int) []TrackStream {
+	const stepGap = 80 * time.Microsecond
+	out := make([]TrackStream, n)
+	for u := range out {
+		st := TrackStream{
+			User:     u + 1,
+			Start:    TrackPoint{X: float64((int(seed)+u*13)%40) + 5, Y: float64((int(seed)+u*29)%40) + 5},
+			Points:   make([]TrackPoint, steps),
+			Arrivals: make([]vclock.Duration, steps),
+		}
+		vx, vy := float64(u%3)+1, float64(u%5)-2
+		for i := 0; i < steps; i++ {
+			wobble := float64((u*31+i*17)%7) - 3
+			st.Points[i] = TrackPoint{
+				X: st.Start.X + vx*float64(i+1) + wobble/2,
+				Y: st.Start.Y + vy*float64(i+1) - wobble/3,
+			}
+			st.Arrivals[i] = vclock.Duration(i+1) * stepGap
+		}
+		out[u] = st
+	}
+	return out
+}
+
+// TrackResult is the final filtered position of one stream.
+type TrackResult struct {
+	// User echoes the client.
+	User int
+	// Steps counts measurements successfully folded in.
+	Steps int
+	// X, Y is the filter's final position estimate — a function of the
+	// whole stream, so identical results across a failover prove the
+	// migrated state was exact.
+	X, Y float64
+	// Err is the first error that stopped the stream, if any.
+	Err error
+}
+
+// TrackingServer is the stateful serving workload: per-session Kalman
+// filters whose state tensors live in agent memory on the session's shard
+// and are checkpointed through the executor's portable log on every
+// stateful call. No per-shard artifacts, so it needs no OnReplace hook;
+// replacement shards receive state purely through session migration.
+type TrackingServer struct {
+	// Ex is the serving pool.
+	Ex *core.Executor
+}
+
+// ProvisionTracking builds the tracking service on an executor.
+func ProvisionTracking(ex *core.Executor) *TrackingServer {
+	return &TrackingServer{Ex: ex}
+}
+
+// ServeStreams runs every stream to completion and returns final filtered
+// positions in stream order. Sessions open in stream order (deterministic
+// round-robin placement); each shard serves its sessions on one goroutine,
+// interleaving them step by step in session order, so per-shard admission
+// order — and therefore every virtual timestamp — is deterministic.
+func (srv *TrackingServer) ServeStreams(streams []TrackStream) []TrackResult {
+	byShard := make([][]int, srv.Ex.Shards())
+	sessions := make([]*core.Session, len(streams))
+	for i := range streams {
+		sessions[i] = srv.Ex.Session()
+		id := sessions[i].Shard().ID
+		byShard[id] = append(byShard[id], i)
+	}
+	results := make([]TrackResult, len(streams))
+	var wg sync.WaitGroup
+	for _, queue := range byShard {
+		wg.Add(1)
+		go func(queue []int) {
+			defer wg.Done()
+			for _, i := range queue {
+				results[i] = TrackResult{User: streams[i].User}
+				results[i].Err = srv.initSession(sessions[i], streams[i])
+			}
+			steps := 0
+			for _, i := range queue {
+				if len(streams[i].Points) > steps {
+					steps = len(streams[i].Points)
+				}
+			}
+			for step := 0; step < steps; step++ {
+				for _, i := range queue {
+					if results[i].Err != nil || step >= len(streams[i].Points) {
+						continue
+					}
+					results[i].Err = srv.serveStep(sessions[i], streams[i], step, &results[i])
+				}
+			}
+		}(queue)
+	}
+	wg.Wait()
+	return results
+}
+
+// initSession creates the session's state tensor and seeds it with the
+// stream's start position. The seeding correct() is a stateful call, so
+// the state is in the portable checkpoint log before the first measurement
+// — a session can fail over at any step, including step 0.
+func (srv *TrackingServer) initSession(s *core.Session, st TrackStream) error {
+	return s.Do(func(sh *core.Shard) error {
+		h, _, err := sh.Ex.Call("torch.tensor", framework.Int64(4), framework.Float64(0))
+		if err != nil {
+			return restartAfter(sh, err)
+		}
+		if len(h) == 0 {
+			return fmt.Errorf("apps: tensor call returned no handle")
+		}
+		if _, _, err := sh.Ex.Call("cv.KalmanFilter.correct",
+			h[0].Value(), framework.Float64(st.Start.X), framework.Float64(st.Start.Y)); err != nil {
+			return restartAfter(sh, err)
+		}
+		s.Bind(trackerBinding, h[0])
+		return nil
+	})
+}
+
+// serveStep folds one measurement into the session's filter with a single
+// correct() call. One stateful call per invocation is deliberate: the
+// checkpoint log advances per successful call, and failover re-runs whole
+// invocations, so keeping the two granularities equal gives exactly-once
+// state mutation — a re-run invocation starts from the state the failed
+// attempt started from. The bound handle is re-read inside the job because
+// a failover (between steps or mid-job) rebinds it to the state
+// materialized on the replacement shard.
+func (srv *TrackingServer) serveStep(s *core.Session, st TrackStream, step int, res *TrackResult) error {
+	p := st.Points[step]
+	return s.DoAt(st.Arrivals[step], func(sh *core.Shard) error {
+		h, ok := s.Bound(trackerBinding)
+		if !ok {
+			return fmt.Errorf("apps: session %d has no bound tracker state", s.ID)
+		}
+		_, plain, err := sh.Ex.Call("cv.KalmanFilter.correct",
+			h.Value(), framework.Float64(p.X), framework.Float64(p.Y))
+		if err != nil {
+			return restartAfter(sh, err)
+		}
+		if len(plain) >= 2 {
+			res.X, res.Y = plain[0].Float, plain[1].Float
+		}
+		res.Steps++
+		return nil
+	})
+}
+
+// restartAfter revives any crashed agents on the shard (availability
+// first, §4.4.2) and passes the original error through.
+func restartAfter(sh *core.Shard, err error) error {
+	if sh.Rt != nil {
+		_ = sh.Rt.RestartDead()
+	}
+	return err
+}

@@ -76,9 +76,19 @@ func New(plan Plan) *Engine {
 
 // Bind attaches the virtual clock (for event timestamps) and the metrics
 // counters (for InjectedFaults). Either may be nil. Called by core.New.
+//
+// One engine serves exactly one kernel clock: event timestamps and the
+// PRNG's consultation order are only meaningful against a single clock, so
+// rebinding to a different clock would silently corrupt the injection log's
+// ordering (the bug multi-runtime sharing used to hit). Rebinding the same
+// clock is idempotent and allowed; binding a second, different clock panics.
+// Multi-shard runs build one engine per shard from Plan.ForShard instead.
 func (e *Engine) Bind(clock *vclock.Clock, counters *metrics.Counters) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.clock != nil && clock != nil && e.clock != clock {
+		panic("chaos: engine already bound to a different kernel clock; one engine per shard — build per-shard engines with Plan.ForShard")
+	}
 	e.clock = clock
 	e.counters = counters
 }

@@ -107,6 +107,33 @@ func Scaled(seed int64, intensity float64) Plan {
 	}
 }
 
+// DerivedSeed mixes a plan seed with a shard id into an independent stream
+// seed (a splitmix64 finalizer pass). Derived streams are decorrelated from
+// each other and from the root seed, yet fully determined by (seed, shard) —
+// the property multi-shard chaos replay rests on.
+func DerivedSeed(seed int64, shard int) int64 {
+	z := uint64(seed) + uint64(shard+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// ForShard returns the per-shard split of the plan: shard 0 keeps the root
+// seed (so a one-shard run is byte-identical to the unsharded engine — the
+// serving layer's n=1 compatibility guarantee), every other shard gets a
+// seed derived from (plan seed, shard id). Probabilities and target scope
+// are unchanged. Each shard must run its own Engine built from its own
+// split: one engine cannot be bound to two kernel clocks (Bind panics), and
+// sharing one PRNG across concurrently scheduled shards would interleave
+// the decision stream nondeterministically.
+func (p Plan) ForShard(shard int) Plan {
+	if shard == 0 {
+		return p
+	}
+	p.Seed = DerivedSeed(p.Seed, shard)
+	return p
+}
+
 // targetPrefix returns the effective process-name prefix.
 func (p Plan) targetPrefix() string {
 	if p.TargetPrefix == "" {

@@ -26,6 +26,12 @@ type agent struct {
 	proc  *kernel.Process
 	ctx   *framework.Ctx
 	remap map[uint64]uint64 // pre-restart object id -> restored id
+	// canon is the inverse view of remap chains: current object id -> the
+	// id the object was first created under (the id host-held refs carry).
+	// Absent entries are identity. The portable checkpoint log keys state by
+	// canonical id so one piece of session state keeps one log key across
+	// restarts.
+	canon map[uint64]uint64
 	// deref caches lazily-copied remote objects: once an agent has pulled
 	// a remote object's payload (Fig. 11 step 4), later calls with the
 	// same (owner, id, content-hash) reference reuse the local copy
@@ -129,6 +135,17 @@ func (a *agent) process() *kernel.Process {
 	return a.proc
 }
 
+// canonOf maps a current object id back to its canonical (creation-time)
+// identity.
+func (a *agent) canonOf(id uint64) uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if c, ok := a.canon[id]; ok {
+		return c
+	}
+	return id
+}
+
 // resolveID maps an object id through the post-restart remap table.
 // Restored objects can reuse ids from the previous incarnation, so chains
 // may self-reference; a visited set guards against cycles.
@@ -180,7 +197,7 @@ func (rt *Runtime) serve(a *agent) ipc.Handler {
 			return nil, crashClass(err)
 		}
 		if (rt.Config.CheckpointStateful && api.Stateful) || rt.Config.CheckpointAll {
-			rt.checkpointObjects(a, ctx, args, results)
+			rt.checkpointObjects(a, ctx, api, args, results)
 		}
 		reply, err := rt.marshalReply(a, ctx, results)
 		if err != nil {
@@ -295,8 +312,12 @@ func (rt *Runtime) marshalReply(a *agent, ctx *framework.Ctx, results []framewor
 }
 
 // checkpointObjects snapshots every object argument/result of a stateful
-// API call so a restart can restore them.
-func (rt *Runtime) checkpointObjects(a *agent, ctx *framework.Ctx, args, results []framework.Value) {
+// API call so a restart can restore them. When a portable checkpoint log is
+// attached and a serving session is in scope, stateful-API state is also
+// written through to the log under (session, API type, canonical slot) —
+// the copy any other shard can materialize during failover.
+func (rt *Runtime) checkpointObjects(a *agent, ctx *framework.Ctx, api *framework.API, args, results []framework.Value) {
+	log, session := rt.checkpointScope()
 	snap := func(v framework.Value) {
 		if v.Kind != framework.ValObj {
 			return
@@ -314,6 +335,14 @@ func (rt *Runtime) checkpointObjects(a *agent, ctx *framework.Ctx, args, results
 		a.mu.Unlock()
 		rt.Metrics.AddCheckpoint()
 		rt.K.Clock.Advance(rt.K.Cost.CheckpointCost(len(payload)))
+		if log != nil && session >= 0 && api.Stateful {
+			key := object.CheckpointKey{
+				Session: session,
+				Type:    uint8(rt.Cat.TypeOf(api.Name)),
+				Slot:    object.Slot(uint32(a.process().PID()), a.canonOf(v.Obj)),
+			}
+			log.Append(key, o.Kind(), o.Header(), payload)
+		}
 	}
 	for _, v := range args {
 		snap(v)
@@ -344,9 +373,11 @@ func (rt *Runtime) restartAgent(a *agent) error {
 	// stateful state, remapping ids.
 	a.mu.Lock()
 	oldRemap := a.remap
+	oldCanon := a.canon
 	cps := a.checkpoints
 	a.ctx = newCtx
 	a.remap = make(map[uint64]uint64)
+	a.canon = make(map[uint64]uint64)
 	a.checkpoints = make(map[uint64]checkpoint)
 	a.deref = make(map[derefKey]uint64)
 	a.mu.Unlock()
@@ -373,6 +404,13 @@ func (rt *Runtime) restartAgent(a *agent) error {
 			if prev == oldID {
 				a.remap[ancient] = newID
 			}
+		}
+		// The restored object keeps its canonical identity, so the portable
+		// checkpoint log sees one key across incarnations.
+		if c, ok := oldCanon[oldID]; ok {
+			a.canon[newID] = c
+		} else {
+			a.canon[newID] = oldID
 		}
 		a.checkpoints[newID] = cp
 		a.mu.Unlock()

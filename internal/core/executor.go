@@ -1,12 +1,18 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"freepart.dev/freepart/internal/analysis"
+	"freepart.dev/freepart/internal/chaos"
 	"freepart.dev/freepart/internal/framework"
+	"freepart.dev/freepart/internal/ipc"
 	"freepart.dev/freepart/internal/kernel"
+	"freepart.dev/freepart/internal/metrics"
 	"freepart.dev/freepart/internal/object"
 	"freepart.dev/freepart/internal/vclock"
 )
@@ -18,8 +24,12 @@ import (
 // serially on it, so the shard's framework state machine, agent tables,
 // and temporal permissions never interleave across tenants.
 type Shard struct {
-	// ID is the shard's index in its executor, fixed at construction.
+	// ID is the shard's index in its executor, fixed at construction. A
+	// replacement shard inherits the id of the shard it replaces.
 	ID int
+	// Gen is the incarnation number for this id: 0 for the original shard,
+	// incremented each time failover replaces it.
+	Gen int
 	// K is the shard-private kernel.
 	K *kernel.Kernel
 	// Ex is the caller running on this shard.
@@ -29,6 +39,13 @@ type Shard struct {
 
 	mu   sync.Mutex
 	jobs uint64
+
+	// Health state, guarded by hm (not mu: observers must not block behind a
+	// running job).
+	hm       sync.Mutex
+	failed   bool
+	reason   string
+	failures []vclock.Duration
 }
 
 // Clock returns the shard's virtual clock.
@@ -41,23 +58,113 @@ func (s *Shard) Jobs() uint64 {
 	return s.jobs
 }
 
+// Chaos returns the fault-injection engine bound to this shard, nil when
+// the shard runs without chaos (or is a direct shard).
+func (s *Shard) Chaos() *chaos.Engine {
+	if s.Rt != nil {
+		return s.Rt.Config.Chaos
+	}
+	return nil
+}
+
+// Failed reports whether the shard has been marked lost (killed or drained
+// by the health policy). A failed shard admits no further work.
+func (s *Shard) Failed() bool {
+	s.hm.Lock()
+	defer s.hm.Unlock()
+	return s.failed
+}
+
+// FailReason returns why the shard was marked lost.
+func (s *Shard) FailReason() string {
+	s.hm.Lock()
+	defer s.hm.Unlock()
+	return s.reason
+}
+
+// fail marks the shard lost; returns false if it already was.
+func (s *Shard) fail(reason string) bool {
+	s.hm.Lock()
+	defer s.hm.Unlock()
+	if s.failed {
+		return false
+	}
+	s.failed = true
+	s.reason = reason
+	return true
+}
+
+// recordFailure logs a crash-class failure at virtual time now and returns
+// how many failures fall inside the trailing window (0 = unbounded),
+// mirroring the PR-1 circuit breaker's restart window one level up.
+func (s *Shard) recordFailure(now, window vclock.Duration) int {
+	s.hm.Lock()
+	defer s.hm.Unlock()
+	s.failures = append(s.failures, now)
+	if window > 0 {
+		keep := s.failures[:0]
+		for _, t := range s.failures {
+			if now-t <= window {
+				keep = append(keep, t)
+			}
+		}
+		s.failures = keep
+	}
+	return len(s.failures)
+}
+
 // ShardFactory builds the id-th shard of an executor. Factories must be
 // deterministic: shard id in, identical shard out, so an executor built
-// twice from the same factory behaves identically.
+// twice from the same factory behaves identically — and so a replacement
+// shard built after failover is indistinguishable from a fresh one.
 type ShardFactory func(id int) (*Shard, error)
 
 // ProtectedShards returns a factory producing FreePart-protected shards:
 // each shard is a fresh kernel with a full runtime (host, agents, policies)
 // configured by cfg.
 //
-// Determinism note: cfg.Chaos binds a single injection engine to the first
-// shard's kernel clock, so chaos runs are replayable only at one shard
-// (the configuration the determinism tests pin); multi-shard chaos would
-// interleave one rng across independently scheduled shards.
+// Chaos is split per shard: the first shard 0 keeps cfg.Chaos itself (so a
+// one-shard executor is byte-identical to the synchronous path, injection
+// log included), and every other shard — replacements included — gets its
+// own engine seeded by Plan.ForShard(id). One engine never serves two
+// kernel clocks (Engine.Bind panics on rebinding), which keeps concurrent
+// multi-shard chaos runs byte-replayable per shard.
 func ProtectedShards(reg *framework.Registry, cat *analysis.Categorization, cfg Config) ShardFactory {
+	var rootEngineUsed atomic.Bool
 	return func(id int) (*Shard, error) {
+		c := cfg
+		if c.Chaos != nil && !(id == 0 && rootEngineUsed.CompareAndSwap(false, true)) {
+			c.Chaos = chaos.New(c.Chaos.Plan().ForShard(id))
+		}
 		k := kernel.New()
-		rt, err := New(k, reg, cat, cfg)
+		rt, err := New(k, reg, cat, c)
+		if err != nil {
+			return nil, fmt.Errorf("core: shard %d: %w", id, err)
+		}
+		return &Shard{ID: id, K: k, Ex: rt, Rt: rt}, nil
+	}
+}
+
+// ChaosShards returns a protected-shard factory with an explicit per-shard,
+// per-generation chaos plan — the hook tests use to force exactly one shard
+// into a crash loop while the others see background-intensity faults. The
+// factory counts how many times each id was built, so planOf sees gen 0 for
+// the original shard and gen n for the n-th replacement: a crash-looping
+// machine can be modeled as replaced by a healthy one, which is what breaks
+// the crash→drain→crash cycle. Build order per id is deterministic, so the
+// gen sequence replays exactly.
+func ChaosShards(reg *framework.Registry, cat *analysis.Categorization, cfg Config, planOf func(id, gen int) chaos.Plan) ShardFactory {
+	var mu sync.Mutex
+	gens := make(map[int]int)
+	return func(id int) (*Shard, error) {
+		mu.Lock()
+		gen := gens[id]
+		gens[id]++
+		mu.Unlock()
+		c := cfg
+		c.Chaos = chaos.New(planOf(id, gen))
+		k := kernel.New()
+		rt, err := New(k, reg, cat, c)
 		if err != nil {
 			return nil, fmt.Errorf("core: shard %d: %w", id, err)
 		}
@@ -75,41 +182,107 @@ func DirectShards(reg *framework.Registry) ShardFactory {
 	}
 }
 
+// HealthPolicy configures shard-level failure handling, lifting the PR-1
+// per-partition supervision policy to whole shards. The zero value disables
+// health-driven drains; explicit kills (KillShard/ScheduleKill) work either
+// way.
+type HealthPolicy struct {
+	// FailThreshold drains a shard after this many crash-class invocation
+	// failures (agent crash, dead peer, timeout, dead host) inside
+	// FailWindow. 0 disables the failure counter.
+	FailThreshold int
+	// FailWindow is the trailing virtual-time window failures are counted
+	// over on the shard clock; 0 means unbounded.
+	FailWindow vclock.Duration
+	// DrainOnDegrade drains a shard as soon as its runtime's circuit
+	// breaker has demoted any partition to in-host execution: replacement
+	// restores full isolation instead of serving without it indefinitely.
+	DrainOnDegrade bool
+}
+
+// FailoverEvent is one entry in the executor's replayable failover log.
+// Per-shard subsequences (FailoverEventsFor) are deterministic for a fixed
+// plan seed; the interleaving across shards is not, so replay assertions
+// compare per shard.
+type FailoverEvent struct {
+	// At is the virtual time on the subject shard's clock.
+	At vclock.Duration
+	// Shard and Gen identify the shard incarnation the event concerns.
+	Shard int
+	Gen   int
+	// Kind is "kill", "drain", "replace", "replace-failed", "migrate", or
+	// "migrate-failed".
+	Kind string
+	// Detail carries the reason or subject (session id, error).
+	Detail string
+}
+
+// String renders the event as one log line.
+func (ev FailoverEvent) String() string {
+	return fmt.Sprintf("@%v shard %d/gen %d %s %s", ev.At, ev.Shard, ev.Gen, ev.Kind, ev.Detail)
+}
+
 // Executor is the concurrent serving layer: a bounded worker pool over n
 // runtime shards. Sessions are assigned to shards round-robin; at most n
 // pipeline invocations run concurrently (one per shard worker), and
 // invocations pinned to the same shard serialize on it. Immutable
 // artifacts are shared across shards through the executor's read-only
-// object store instead of being rebuilt per shard.
+// object store, and stateful-API state is written through to a portable
+// checkpoint log so sessions survive the loss of their shard: a failed
+// shard is drained, its sessions migrate to a replacement with their
+// checkpointed state materialized there, and serving continues.
 //
-// With n = 1 the executor degenerates to the synchronous path: one shard,
-// one worker, every invocation in submission order — byte-identical
-// outputs to calling the runtime directly.
+// With n = 1 and no faults the executor degenerates to the synchronous
+// path: one shard, one worker, every invocation in submission order —
+// byte-identical outputs to calling the runtime directly.
 type Executor struct {
-	shards []*Shard
-	store  *object.Store
-	sem    chan struct{}
-	lat    *vclock.Latencies
+	shards  []*Shard
+	store   *object.Store
+	ckpt    *object.CheckpointLog
+	factory ShardFactory
+	sem     chan struct{}
+	lat     *vclock.Latencies
+	queue   *vclock.Latencies
+	met     *metrics.Counters
 
-	mu       sync.Mutex
-	sessions int
+	// failMu serializes whole failover operations (drain + replace +
+	// migrate), so two sessions observing one dead shard produce one
+	// replacement.
+	failMu sync.Mutex
+
+	mu        sync.Mutex
+	sessions  []*Session
+	retired   []*Shard
+	killAt    map[int]vclock.Duration
+	events    []FailoverEvent
+	policy    HealthPolicy
+	onReplace func(*Shard) error
 }
 
-// NewExecutor builds an executor over n shards produced by factory.
+// NewExecutor builds an executor over n shards produced by factory. The
+// factory is retained: failover calls it again to build replacement shards.
 func NewExecutor(n int, factory ShardFactory) (*Executor, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("core: executor needs n > 0 shards")
 	}
 	e := &Executor{
-		store: object.NewStore(),
-		sem:   make(chan struct{}, n),
-		lat:   &vclock.Latencies{},
+		store:   object.NewStore(),
+		ckpt:    object.NewCheckpointLog(),
+		factory: factory,
+		sem:     make(chan struct{}, n),
+		lat:     &vclock.Latencies{},
+		queue:   &vclock.Latencies{},
+		met:     metrics.New(),
+		killAt:  make(map[int]vclock.Duration),
 	}
 	for i := 0; i < n; i++ {
 		sh, err := factory(i)
 		if err != nil {
 			e.Close()
 			return nil, err
+		}
+		if sh.Rt != nil {
+			sh.Rt.SetCheckpointLog(e.ckpt)
 		}
 		e.shards = append(e.shards, sh)
 	}
@@ -119,29 +292,172 @@ func NewExecutor(n int, factory ShardFactory) (*Executor, error) {
 // Shards returns the shard count.
 func (e *Executor) Shards() int { return len(e.shards) }
 
-// Shard returns the i-th shard.
-func (e *Executor) Shard(i int) *Shard { return e.shards[i] }
+// Shard returns the current incarnation serving shard id i.
+func (e *Executor) Shard(i int) *Shard {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.shards[i]
+}
+
+// Incarnations returns every incarnation of shard id in generation order:
+// retired (drained) shards first, then the current one. Tests use it to
+// compare per-incarnation chaos injection logs across replays.
+func (e *Executor) Incarnations(id int) []*Shard {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var out []*Shard
+	for _, sh := range e.retired {
+		if sh.ID == id {
+			out = append(out, sh)
+		}
+	}
+	return append(out, e.shards[id])
+}
 
 // Store returns the executor's shared read-only object store.
 func (e *Executor) Store() *object.Store { return e.store }
 
+// CheckpointLog returns the portable checkpoint log shared by all shards.
+func (e *Executor) CheckpointLog() *object.CheckpointLog { return e.ckpt }
+
+// Metrics returns the executor's serving-layer counters (ShardDrains,
+// Migrations, FailedMigrations; runtime-level counters stay per shard).
+func (e *Executor) Metrics() *metrics.Counters { return e.met }
+
 // Latencies returns the per-invocation virtual latency distribution.
+// Samples run from each request's arrival stamp to completion, so they
+// include admission-queue wait, not just service time.
 func (e *Executor) Latencies() *vclock.Latencies { return e.lat }
+
+// QueueWaits returns the distribution of admission-queue waits alone — the
+// virtual time requests spent queued behind earlier work on their shard.
+func (e *Executor) QueueWaits() *vclock.Latencies { return e.queue }
+
+// SetHealthPolicy installs the shard health policy. Set it before serving;
+// the zero policy disables health-driven drains.
+func (e *Executor) SetHealthPolicy(p HealthPolicy) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.policy = p
+}
+
+// SetOnReplace installs a provisioning hook run on every replacement shard
+// before it starts serving — the serving app reloads per-shard artifacts
+// (e.g. its model) here.
+func (e *Executor) SetOnReplace(fn func(*Shard) error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.onReplace = fn
+}
+
+// ScheduleKill arranges for shard id to be killed at the given virtual time
+// on its own clock. The kill fires at the first admission at or after that
+// time, which makes it deterministic: per-shard admission order is FIFO and
+// the shard clock is a pure function of the work it ran. One schedule fires
+// at most once; the replacement shard is not re-killed.
+func (e *Executor) ScheduleKill(id int, at vclock.Duration) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.killAt[id] = at
+}
+
+// KillShard marks the current incarnation of shard id lost immediately and
+// crashes its processes. Sessions pinned to it migrate at their next
+// invocation. Must not be called from inside a job running on that shard.
+func (e *Executor) KillShard(id int, reason string) {
+	sh := e.Shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e.killShardLocked(sh, reason)
+}
+
+// killShardLocked marks sh lost and crashes its processes. Caller holds
+// sh.mu (or otherwise guarantees no job is running on sh).
+func (e *Executor) killShardLocked(sh *Shard, reason string) {
+	if !sh.fail(reason) {
+		return
+	}
+	// The whole simulated machine behind the shard dies with it.
+	for _, p := range sh.K.Processes() {
+		if p.Alive() {
+			sh.K.Crash(p, "shard killed: "+reason)
+		}
+	}
+	e.recordEvent(sh, "kill", reason)
+}
+
+// applyScheduledKill fires a pending scheduled kill once the shard clock
+// has reached it. Caller holds sh.mu.
+func (e *Executor) applyScheduledKill(sh *Shard) {
+	e.mu.Lock()
+	at, ok := e.killAt[sh.ID]
+	e.mu.Unlock()
+	if !ok || sh.Failed() || sh.K.Clock.Now() < at {
+		return
+	}
+	e.mu.Lock()
+	delete(e.killAt, sh.ID)
+	e.mu.Unlock()
+	e.killShardLocked(sh, fmt.Sprintf("scheduled kill at %v", at))
+}
+
+// healthPolicy reads the installed policy.
+func (e *Executor) healthPolicy() HealthPolicy {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.policy
+}
+
+// recordEvent appends to the failover log, stamped on the subject shard's
+// clock.
+func (e *Executor) recordEvent(sh *Shard, kind, detail string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.events = append(e.events, FailoverEvent{
+		At: sh.K.Clock.Now(), Shard: sh.ID, Gen: sh.Gen, Kind: kind, Detail: detail,
+	})
+}
+
+// FailoverEvents returns a copy of the full failover log.
+func (e *Executor) FailoverEvents() []FailoverEvent {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]FailoverEvent, len(e.events))
+	copy(out, e.events)
+	return out
+}
+
+// FailoverEventsFor returns the failover log filtered to one shard id —
+// the deterministic, replay-comparable subsequence.
+func (e *Executor) FailoverEventsFor(id int) []FailoverEvent {
+	var out []FailoverEvent
+	for _, ev := range e.FailoverEvents() {
+		if ev.Shard == id {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
 
 // CriticalPath returns the max-merge of all shard clocks — the virtual
 // wall-clock of the whole serving run (the slowest shard), which is what
 // throughput divides by. Per-shard work that ran in parallel does not sum.
 func (e *Executor) CriticalPath() vclock.Duration {
+	e.mu.Lock()
 	clocks := make([]*vclock.Clock, len(e.shards))
 	for i, sh := range e.shards {
 		clocks[i] = sh.K.Clock
 	}
+	e.mu.Unlock()
 	return vclock.Max(clocks...)
 }
 
-// TotalWork returns the sum of all shard clocks — aggregate virtual compute
-// spent. TotalWork / CriticalPath is the run's effective parallelism.
+// TotalWork returns the sum of all current shard clocks — aggregate virtual
+// compute spent. TotalWork / CriticalPath is the run's effective
+// parallelism.
 func (e *Executor) TotalWork() vclock.Duration {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	var sum vclock.Duration
 	for _, sh := range e.shards {
 		sum += sh.K.Clock.Now()
@@ -154,50 +470,305 @@ func (e *Executor) TotalWork() vclock.Duration {
 // deterministic.
 func (e *Executor) Session() *Session {
 	e.mu.Lock()
-	id := e.sessions
-	e.sessions++
-	e.mu.Unlock()
-	return &Session{ID: id, ex: e, shard: e.shards[id%len(e.shards)]}
+	defer e.mu.Unlock()
+	s := &Session{
+		ID:    len(e.sessions),
+		ex:    e,
+		shard: e.shards[len(e.sessions)%len(e.shards)],
+		bound: make(map[string]Handle),
+	}
+	e.sessions = append(e.sessions, s)
+	return s
 }
 
-// Close shuts down every shard's runtime.
+// Close shuts down every current shard's runtime (retired shards were
+// closed when they were drained).
 func (e *Executor) Close() {
-	for _, sh := range e.shards {
+	e.mu.Lock()
+	shards := append([]*Shard(nil), e.shards...)
+	e.mu.Unlock()
+	for _, sh := range shards {
 		if sh.Rt != nil {
 			sh.Rt.Close()
 		}
 	}
 }
 
+// isCrashClass reports whether a job error means the shard (or an agent on
+// it) died rather than the application failing: the failures the shard
+// health window counts.
+func isCrashClass(err error, sh *Shard) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, ipc.ErrAgentCrashed) || errors.Is(err, ipc.ErrPeerDead) || errors.Is(err, ipc.ErrTimeout) {
+		return true
+	}
+	return sh.Rt != nil && !sh.Rt.Host.Alive()
+}
+
+// failover drains a lost shard: it waits for in-flight work to finish,
+// builds a replacement via the factory, advances the replacement onto the
+// run's virtual timeline, reprovisions it (OnReplace), swaps it in, and
+// migrates every pinned session — materializing each session's checkpointed
+// stateful-API state from the portable log into the replacement's agents.
+// Idempotent: concurrent observers of one dead shard perform one failover.
+func (e *Executor) failover(old *Shard) error {
+	e.failMu.Lock()
+	defer e.failMu.Unlock()
+	e.mu.Lock()
+	cur := e.shards[old.ID]
+	e.mu.Unlock()
+	if cur != old {
+		return nil // already replaced
+	}
+
+	// Quiesce: once old.mu is held, no invocation is running on the shard
+	// and none will be admitted (it is marked failed), so no checkpoint can
+	// be written after its session migrates.
+	old.mu.Lock()
+	defer old.mu.Unlock()
+
+	e.met.AddShardDrain()
+	e.recordEvent(old, "drain", old.FailReason())
+
+	repl, err := e.factory(old.ID)
+	if err != nil {
+		e.recordEvent(old, "replace-failed", err.Error())
+		return fmt.Errorf("core: shard %d lost and replacement failed: %w", old.ID, err)
+	}
+	repl.Gen = old.Gen + 1
+	// The replacement joins the run's timeline: available at the dead
+	// shard's virtual time plus its own boot cost (its clock accumulated
+	// boot work starting from zero).
+	boot := repl.K.Clock.Now()
+	repl.K.Clock.Observe(old.K.Clock.Now())
+	repl.K.Clock.Advance(boot)
+	if repl.Rt != nil {
+		repl.Rt.SetCheckpointLog(e.ckpt)
+	}
+	e.mu.Lock()
+	onReplace := e.onReplace
+	e.mu.Unlock()
+	if onReplace != nil {
+		if perr := onReplace(repl); perr != nil {
+			e.recordEvent(repl, "replace-failed", perr.Error())
+			return fmt.Errorf("core: shard %d replacement provisioning: %w", old.ID, perr)
+		}
+	}
+
+	e.mu.Lock()
+	e.shards[old.ID] = repl
+	e.retired = append(e.retired, old)
+	sessions := append([]*Session(nil), e.sessions...)
+	e.mu.Unlock()
+	e.recordEvent(repl, "replace", fmt.Sprintf("gen %d", repl.Gen))
+
+	for _, s := range sessions {
+		if !s.pinnedTo(old) {
+			continue
+		}
+		if merr := s.migrate(repl); merr != nil {
+			e.met.AddFailedMigration()
+			e.recordEvent(repl, "migrate-failed", fmt.Sprintf("session %d: %v", s.ID, merr))
+			continue
+		}
+		e.met.AddMigration()
+		e.recordEvent(repl, "migrate", fmt.Sprintf("session %d", s.ID))
+	}
+
+	if old.Rt != nil {
+		old.Rt.Close()
+	}
+	return nil
+}
+
 // Session is one client's stream of pipeline invocations. All of a
 // session's work runs on a single shard, so a client's framework state
 // (open captures, loaded models, intermediate objects) stays on one
-// runtime across invocations.
+// runtime across invocations — until that shard is lost, at which point
+// the session migrates to the replacement shard with its bound stateful
+// state restored from the portable checkpoint log.
 type Session struct {
 	// ID is the session's global open order.
-	ID    int
-	ex    *Executor
+	ID int
+	ex *Executor
+
+	mu    sync.Mutex
 	shard *Shard
+	bound map[string]Handle
 }
 
-// Shard returns the shard this session is pinned to.
-func (s *Session) Shard() *Shard { return s.shard }
+// Shard returns the shard this session is currently pinned to.
+func (s *Session) Shard() *Shard {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.shard
+}
 
-// Do runs one pipeline invocation on the session's shard. Admission is
-// bounded by the executor's worker count; invocations on the same shard
-// serialize. The invocation's virtual latency — the shard clock's advance
-// while the job ran — is recorded in the executor's distribution.
+// pinnedTo reports whether the session is pinned to sh.
+func (s *Session) pinnedTo(sh *Shard) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.shard == sh
+}
+
+// Bind registers a durable stateful handle under a name. Bound handles are
+// what failover migrates: after the session moves to a replacement shard,
+// Bound(name) returns a handle to the same state materialized there (from
+// its latest checkpoint), so the client keeps calling stateful APIs as if
+// nothing happened.
+func (s *Session) Bind(name string, h Handle) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.bound[name] = h
+}
+
+// Bound returns the current handle registered under name. Callers should
+// re-fetch it before each use rather than caching the Handle value, since
+// migration rebinds it.
+func (s *Session) Bound(name string) (Handle, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h, ok := s.bound[name]
+	return h, ok
+}
+
+// migrate moves the session to shard `to`, materializing every bound
+// handle's latest checkpoint into the replacement runtime. Bindings whose
+// state cannot be restored keep their (now dangling) handle and surface an
+// error; the session still moves — it must run somewhere.
+func (s *Session) migrate(to *Shard) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var firstErr error
+	names := make([]string, 0, len(s.bound))
+	for name := range s.bound {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := s.bound[name]
+		if to.Rt == nil {
+			firstErr = fmt.Errorf("core: cannot restore %q onto a direct shard", name)
+			continue
+		}
+		cp, ok := s.ex.ckpt.LatestSlot(s.ID, object.Slot(h.ref.PID, h.ref.ID))
+		if !ok {
+			firstErr = fmt.Errorf("core: no checkpoint for bound handle %q", name)
+			continue
+		}
+		nh, err := to.Rt.Adopt(s.ID, cp)
+		if err != nil {
+			firstErr = err
+			continue
+		}
+		s.bound[name] = nh
+	}
+	s.shard = to
+	return firstErr
+}
+
+// currentShard reads the session's pin.
+func (s *Session) currentShard() *Shard {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.shard
+}
+
+// Do runs one pipeline invocation on the session's shard, with the arrival
+// stamp taken at admission (no modeled queueing delay ahead of it). See
+// DoAt.
 func (s *Session) Do(job func(sh *Shard) error) error {
+	return s.DoAt(-1, job)
+}
+
+// DoAt runs one pipeline invocation that arrived at the given virtual time
+// on the session's shard clock. Admission is bounded by the executor's
+// worker count; invocations on the same shard serialize. If the shard is
+// idle past the arrival time its clock advances to the arrival (the shard
+// waited for the request); if the shard is busy, the gap between arrival
+// and service start is the request's admission-queue wait. The recorded
+// virtual latency runs from arrival to completion — queueing plus service —
+// and the wait alone is recorded in the executor's queue distribution.
+//
+// A negative arrival means "arrived now": the stamp is taken when the shard
+// first admits the invocation, yielding zero queueing delay (the pre-PR-3
+// behaviour).
+//
+// If the shard was lost (killed, or drained by the health policy), the
+// session fails over — drain, replace, migrate — and the invocation runs on
+// the replacement; a crash-class failure that trips the health threshold
+// mid-invocation re-runs the invocation there too, so callers never observe
+// the loss of a shard.
+func (s *Session) DoAt(arrival vclock.Duration, job func(sh *Shard) error) error {
 	s.ex.sem <- struct{}{}
 	defer func() { <-s.ex.sem }()
 
-	s.shard.mu.Lock()
-	defer s.shard.mu.Unlock()
-	start := s.shard.K.Clock.Now()
-	err := job(s.shard)
-	s.ex.lat.Add(s.shard.K.Clock.Now() - start)
-	s.shard.jobs++
-	return err
+	for {
+		sh := s.currentShard()
+		sh.mu.Lock()
+		if sh != s.currentShard() {
+			// Migrated while waiting for the shard lock.
+			sh.mu.Unlock()
+			continue
+		}
+		e := s.ex
+		e.applyScheduledKill(sh)
+		pol := e.healthPolicy()
+		if !sh.Failed() && pol.DrainOnDegrade && sh.Rt != nil && sh.Rt.Metrics.Snapshot().Degraded > 0 {
+			sh.fail("partition degraded to in-host execution")
+		}
+		if sh.Failed() {
+			sh.mu.Unlock()
+			if err := e.failover(sh); err != nil {
+				return err
+			}
+			continue
+		}
+
+		now := sh.K.Clock.Now()
+		if arrival < 0 {
+			arrival = now
+		}
+		wait := vclock.Duration(0)
+		if arrival > now {
+			sh.K.Clock.Observe(arrival)
+		} else {
+			wait = now - arrival
+		}
+		if sh.Rt != nil {
+			sh.Rt.SetSessionScope(s.ID)
+		}
+		err := job(sh)
+		if sh.Rt != nil {
+			sh.Rt.SetSessionScope(-1)
+		}
+		end := sh.K.Clock.Now()
+		sh.jobs++
+
+		crashed := isCrashClass(err, sh)
+		if crashed && pol.FailThreshold > 0 {
+			if n := sh.recordFailure(end, pol.FailWindow); n >= pol.FailThreshold {
+				sh.fail(fmt.Sprintf("%d crash-class failures in window", n))
+			}
+		}
+		failed := sh.Failed()
+		sh.mu.Unlock()
+
+		if crashed && failed {
+			// The shard died under this invocation: fail over and re-run it
+			// on the replacement. The latency sample keeps the original
+			// arrival, so failover time lands in the tail percentiles.
+			if ferr := e.failover(sh); ferr != nil {
+				return ferr
+			}
+			continue
+		}
+		e.lat.Add(end - arrival)
+		e.queue.Add(wait)
+		return err
+	}
 }
 
 // Call implements Caller on the session: a single-API invocation submitted

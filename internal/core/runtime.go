@@ -63,6 +63,14 @@ type Runtime struct {
 	exempt    map[exemptKey]bool
 	analyzer  *analysis.Analyzer
 	policies  map[framework.APIType]*analysis.AgentPolicy
+
+	// ckptLog, when set, receives a write-through copy of every stateful-API
+	// checkpoint under the session in scope — the portable store shard
+	// failover restores from. ckptSession is the serving session the current
+	// invocation belongs to (-1 when none); sessions serialize per shard, so
+	// the scope is stable for the whole invocation.
+	ckptLog     *object.CheckpointLog
+	ckptSession int
 }
 
 // agentPartition computes the default partition id of an API type.
@@ -91,9 +99,10 @@ func New(k *kernel.Kernel, reg *framework.Registry, cat *analysis.Categorization
 		agents:    make(map[int]*agent),
 		endpoints: make(map[uint32]*endpoint),
 		state:     framework.TypeUnknown, // initialization state
-		defined:   make(map[framework.APIType][]definedObject),
-		exempt:    make(map[exemptKey]bool),
-		analyzer:  analysis.New(reg, nil),
+		defined:     make(map[framework.APIType][]definedObject),
+		exempt:      make(map[exemptKey]bool),
+		analyzer:    analysis.New(reg, nil),
+		ckptSession: -1,
 	}
 	rt.Host = k.Spawn("host")
 	rt.hostCtx = framework.NewCtx(k, rt.Host)
@@ -169,6 +178,7 @@ func (rt *Runtime) spawnAgent(id int, types map[framework.APIType]bool) error {
 		id: id, name: name, types: types,
 		proc: proc, ctx: ctx,
 		remap:       make(map[uint64]uint64),
+		canon:       make(map[uint64]uint64),
 		checkpoints: make(map[uint64]checkpoint),
 		deref:       make(map[derefKey]uint64),
 		conn:        ipc.NewConn(64, rt.K.Clock, rt.K.Cost),
@@ -500,7 +510,19 @@ func (rt *Runtime) Call(apiName string, args ...framework.Value) ([]Handle, []fr
 // finishDegraded runs the in-host execution path and applies the same
 // post-call bookkeeping (stateful exemptions, temporal registration) that
 // the RPC path applies.
+//
+// Under a serving session (a portable checkpoint log is attached and a
+// session is in scope) the degraded path is refused instead: in-host
+// execution cannot honor the portable-checkpoint contract — mutations would
+// bypass the log and freshly created objects have no cross-shard identity —
+// so a tripped breaker surfaces as a crash-class failure. The executor
+// treats loss of isolation as loss of the shard: it drains it and re-runs
+// the invocation on an isolated replacement. The API never executes here,
+// so the re-run stays exactly-once.
 func (rt *Runtime) finishDegraded(api *framework.API, args []framework.Value) ([]Handle, []framework.Value, error) {
+	if log, session := rt.checkpointScope(); log != nil && session >= 0 {
+		return nil, nil, fmt.Errorf("%w: breaker degraded a partition under serving session %d", ipc.ErrAgentCrashed, session)
+	}
 	handles, plain, err := rt.callDegraded(api, args)
 	if err != nil {
 		return nil, nil, err
@@ -626,6 +648,102 @@ func (rt *Runtime) Fetch(h Handle) ([]byte, error) {
 	rt.Metrics.AddLazyCopy(len(payload))
 	rt.K.Clock.Advance(rt.K.Cost.DirectCopyCost(len(payload)))
 	return payload, nil
+}
+
+// SetCheckpointLog attaches the serving layer's portable checkpoint log.
+// Stateful-API checkpoints taken while a session scope is set are written
+// through to the log, and Adopt materializes log entries into this runtime.
+// Called by the executor at shard construction and replacement.
+func (rt *Runtime) SetCheckpointLog(l *object.CheckpointLog) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.ckptLog = l
+}
+
+// SetSessionScope marks the serving session the next invocations belong to
+// (-1 clears the scope). The executor sets it around each session job while
+// holding the shard lock, so invocations on one runtime never observe
+// another session's scope.
+func (rt *Runtime) SetSessionScope(session int) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.ckptSession = session
+}
+
+// checkpointScope reads the attached log and current session scope.
+func (rt *Runtime) checkpointScope() (*object.CheckpointLog, int) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.ckptLog, rt.ckptSession
+}
+
+// adoptTarget picks the agent a checkpoint materializes into: the agent
+// whose pid matches the slot's owner if shard layouts line up (factories
+// spawn deterministically, so a replacement shard has the same pid map),
+// otherwise the agent homing the checkpoint's API type.
+func (rt *Runtime) adoptTarget(cp object.Checkpoint) (*agent, error) {
+	wantPID := uint32(cp.Key.Slot >> 32)
+	t := framework.APIType(cp.Key.Type)
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if ep, ok := rt.endpoints[wantPID]; ok && ep.agent != nil {
+		return ep.agent, nil
+	}
+	ids := make([]int, 0, len(rt.agents))
+	for id := range rt.agents {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		if rt.agents[id].types[t] {
+			return rt.agents[id], nil
+		}
+	}
+	return nil, fmt.Errorf("core: no agent homes type %s for checkpoint adoption", t)
+}
+
+// Adopt materializes one portable checkpoint into this runtime: the state
+// object is rebuilt inside the owning-type agent's address space, registered
+// in its table, marked exempt from temporal sealing (stateful state stays
+// writable, §A.2.4), recorded in the agent's local checkpoint map (so later
+// restarts of this shard restore it too), and re-appended to the log under
+// its new slot so a second failover finds it. Returns a handle valid on this
+// runtime — the migrated session's replacement for its old-shard handle.
+func (rt *Runtime) Adopt(session int, cp object.Checkpoint) (Handle, error) {
+	a, err := rt.adoptTarget(cp)
+	if err != nil {
+		return Handle{}, err
+	}
+	ctx := a.context()
+	o, err := cp.Materialize(ctx.P.Space())
+	if err != nil {
+		return Handle{}, fmt.Errorf("core: checkpoint materialize: %w", err)
+	}
+	id := ctx.Table.Put(o)
+	a.mu.Lock()
+	a.checkpoints[id] = checkpoint{kind: cp.Kind, header: cp.Header, payload: cp.Payload}
+	a.mu.Unlock()
+	rt.Metrics.AddCheckpoint()
+	rt.K.Clock.Advance(rt.K.Cost.CopyCost(len(cp.Payload)))
+
+	rt.mu.Lock()
+	rt.exempt[exemptKey{o.Space(), o.Region().Base}] = true
+	log := rt.ckptLog
+	rt.mu.Unlock()
+
+	ref, err := ctx.Table.RefFor(id)
+	if err != nil {
+		return Handle{}, err
+	}
+	if log != nil {
+		key := object.CheckpointKey{
+			Session: session,
+			Type:    cp.Key.Type,
+			Slot:    object.Slot(uint32(ctx.P.PID()), id),
+		}
+		log.Append(key, cp.Kind, cp.Header, cp.Payload)
+	}
+	return Handle{ref: ref, size: len(cp.Payload), kind: cp.Kind}, nil
 }
 
 // SealObject applies intra-process PKU-style protection to an

@@ -273,10 +273,22 @@ func registerDetect(r *framework.Registry) {
 			if st.Len() < 4 {
 				return nil, errorString("simcv: kalman state needs [x y vx vy]")
 			}
-			x, _ := st.AtFlat(0)
-			y, _ := st.AtFlat(1)
-			vx, _ := st.AtFlat(2)
-			vy, _ := st.AtFlat(3)
+			x, err := st.AtFlat(0)
+			if err != nil {
+				return nil, err
+			}
+			y, err := st.AtFlat(1)
+			if err != nil {
+				return nil, err
+			}
+			vx, err := st.AtFlat(2)
+			if err != nil {
+				return nil, err
+			}
+			vy, err := st.AtFlat(3)
+			if err != nil {
+				return nil, err
+			}
 			if err := st.SetFlat(0, x+vx); err != nil {
 				return nil, err
 			}
@@ -303,14 +315,33 @@ func registerDetect(r *framework.Registry) {
 				return nil, errorString("simcv: kalman state needs [x y vx vy]")
 			}
 			mx, my := args[1].Float, args[2].Float
-			x, _ := st.AtFlat(0)
-			y, _ := st.AtFlat(1)
+			x, err := st.AtFlat(0)
+			if err != nil {
+				return nil, err
+			}
+			y, err := st.AtFlat(1)
+			if err != nil {
+				return nil, err
+			}
 			const gain = 0.5
 			nx, ny := x+gain*(mx-x), y+gain*(my-y)
-			_ = st.SetFlat(0, nx)
-			_ = st.SetFlat(1, ny)
-			_ = st.SetFlat(2, nx-x)
-			_ = st.SetFlat(3, ny-y)
+			// Every access error must surface: a faulted write means the state
+			// tensor is only partially updated, and swallowing it would report
+			// success over silently corrupt state. Surfacing it turns the fault
+			// into the crash-restart path, which restores the pre-call
+			// checkpoint and re-executes — the mutation stays all-or-nothing.
+			if err := st.SetFlat(0, nx); err != nil {
+				return nil, err
+			}
+			if err := st.SetFlat(1, ny); err != nil {
+				return nil, err
+			}
+			if err := st.SetFlat(2, nx-x); err != nil {
+				return nil, err
+			}
+			if err := st.SetFlat(3, ny-y); err != nil {
+				return nil, err
+			}
 			ctx.EmitMemOp()
 			return []framework.Value{framework.Float64(nx), framework.Float64(ny)}, nil
 		},

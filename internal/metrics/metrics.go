@@ -29,6 +29,10 @@ type Counters struct {
 	degraded       uint64
 	degradedCalls  uint64
 	injectedFaults uint64
+
+	shardDrains      uint64
+	migrations       uint64
+	failedMigrations uint64
 }
 
 // Snapshot is an immutable copy of the counters.
@@ -55,6 +59,16 @@ type Snapshot struct {
 	DegradedCalls uint64
 	// InjectedFaults counts faults the chaos engine actually fired.
 	InjectedFaults uint64
+
+	// ShardDrains counts serving-layer shards drained by the executor's
+	// health policy (or an explicit kill) and replaced by a fresh shard.
+	ShardDrains uint64
+	// Migrations counts sessions moved off a drained shard with their
+	// stateful-API checkpoints materialized on the destination.
+	Migrations uint64
+	// FailedMigrations counts sessions (or bound state objects) that could
+	// not be moved — no checkpoint to restore from, or the restore failed.
+	FailedMigrations uint64
 }
 
 // New creates zeroed counters.
@@ -157,6 +171,27 @@ func (c *Counters) AddInjectedFault() {
 	c.injectedFaults++
 }
 
+// AddShardDrain records one serving shard drained and replaced.
+func (c *Counters) AddShardDrain() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.shardDrains++
+}
+
+// AddMigration records one session migrated off a drained shard.
+func (c *Counters) AddMigration() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.migrations++
+}
+
+// AddFailedMigration records one migration that could not restore state.
+func (c *Counters) AddFailedMigration() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.failedMigrations++
+}
+
 // Snapshot returns a copy of the counters.
 func (c *Counters) Snapshot() Snapshot {
 	c.mu.Lock()
@@ -169,6 +204,8 @@ func (c *Counters) Snapshot() Snapshot {
 		APICalls: c.apiCalls, Checkpoints: c.checkpoints,
 		Retries: c.retries, Degraded: c.degraded,
 		DegradedCalls: c.degradedCalls, InjectedFaults: c.injectedFaults,
+		ShardDrains: c.shardDrains, Migrations: c.migrations,
+		FailedMigrations: c.failedMigrations,
 	}
 }
 
@@ -184,9 +221,10 @@ func (s Snapshot) LazyFraction() float64 {
 
 // String renders a one-line summary.
 func (s Snapshot) String() string {
-	return fmt.Sprintf("ipc=%d bytes=%d lazy=%d eager=%d flips=%d restarts=%d denials=%d retries=%d degraded=%d degradedCalls=%d injected=%d",
+	return fmt.Sprintf("ipc=%d bytes=%d lazy=%d eager=%d flips=%d restarts=%d denials=%d retries=%d degraded=%d degradedCalls=%d injected=%d drains=%d migrations=%d failedMigrations=%d",
 		s.IPCCalls, s.BytesMoved, s.LazyCopies, s.EagerCopies, s.PermFlips, s.Restarts, s.Denials,
-		s.Retries, s.Degraded, s.DegradedCalls, s.InjectedFaults)
+		s.Retries, s.Degraded, s.DegradedCalls, s.InjectedFaults,
+		s.ShardDrains, s.Migrations, s.FailedMigrations)
 }
 
 // Overhead computes the relative slowdown of a protected run against an

@@ -1,0 +1,192 @@
+package object
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"freepart.dev/freepart/internal/mem"
+)
+
+// CheckpointKey identifies one durable piece of stateful-API state in a
+// CheckpointLog: the serving session that owns it, the API type whose agent
+// mutates it, and a slot naming the state object within the session (the
+// owning agent's pid folded with the object's canonical table id, so two
+// state objects held by different agents never collide).
+type CheckpointKey struct {
+	// Session is the serving-layer session id.
+	Session int
+	// Type is the API type (a framework.APIType value) whose partition owns
+	// the state; migration materializes the checkpoint into the agent homing
+	// this type on the destination shard.
+	Type uint8
+	// Slot names the state object inside the session.
+	Slot uint64
+}
+
+// Slot folds an owning pid and canonical object id into a CheckpointKey slot.
+func Slot(pid uint32, id uint64) uint64 { return uint64(pid)<<32 | id }
+
+// Checkpoint is one immutable version of a key's state: enough to rebuild
+// the object in any address space. Payloads are copy-on-write: the log owns
+// its copy, readers must not mutate it, and a shard that materializes the
+// checkpoint writes into its own space (Rebuild copies).
+type Checkpoint struct {
+	Key     CheckpointKey
+	Version uint64
+	Kind    Kind
+	Header  []byte
+	Payload []byte
+}
+
+// Materialize rebuilds the checkpointed object inside space. The log's
+// backing bytes are copied, never aliased, so the caller's space owns its
+// bytes and the log stays immutable.
+func (c Checkpoint) Materialize(space *mem.AddressSpace) (Object, error) {
+	return Rebuild(space, Ref{Kind: c.Kind, Header: c.Header}, c.Payload)
+}
+
+// CheckpointLogStats counts log activity.
+type CheckpointLogStats struct {
+	// Appends is how many versions were written.
+	Appends uint64
+	// Keys is how many distinct keys hold state.
+	Keys int
+	// Bytes is the total payload volume across all retained versions.
+	Bytes uint64
+	// Adoptions is how many checkpoints were read for cross-shard adoption.
+	Adoptions uint64
+}
+
+// CheckpointLog is the portable, copy-on-write checkpoint store of the
+// serving layer. Agent runtimes append stateful-API state here keyed by
+// (session, API type, slot); because the log lives outside any shard's
+// kernel, any shard can materialize a session's latest state into its own
+// address space — the substrate of shard failover. Appends never mutate
+// prior versions (each is a fresh copy), so readers racing an append always
+// observe a complete, consistent snapshot. Safe for concurrent use.
+type CheckpointLog struct {
+	mu      sync.Mutex
+	latest  map[CheckpointKey]*Checkpoint
+	history []*Checkpoint
+
+	appends   uint64
+	bytes     uint64
+	adoptions uint64
+}
+
+// NewCheckpointLog creates an empty log.
+func NewCheckpointLog() *CheckpointLog {
+	return &CheckpointLog{latest: make(map[CheckpointKey]*Checkpoint)}
+}
+
+// Append writes a new version of key's state and returns the version number
+// (1 for the first write). The payload and header are copied, so callers may
+// reuse their buffers.
+func (l *CheckpointLog) Append(key CheckpointKey, kind Kind, header, payload []byte) uint64 {
+	cp := &Checkpoint{
+		Key:     key,
+		Kind:    kind,
+		Header:  append([]byte(nil), header...),
+		Payload: append([]byte(nil), payload...),
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if prev, ok := l.latest[key]; ok {
+		cp.Version = prev.Version + 1
+	} else {
+		cp.Version = 1
+	}
+	l.latest[key] = cp
+	l.history = append(l.history, cp)
+	l.appends++
+	l.bytes += uint64(len(cp.Payload))
+	return cp.Version
+}
+
+// copyOut snapshots a stored checkpoint so callers never alias the log's
+// internal storage (the log's copy must stay immutable).
+func copyOut(cp *Checkpoint) Checkpoint {
+	out := *cp
+	out.Header = append([]byte(nil), cp.Header...)
+	out.Payload = append([]byte(nil), cp.Payload...)
+	return out
+}
+
+// Latest returns the newest version of key's state.
+func (l *CheckpointLog) Latest(key CheckpointKey) (Checkpoint, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	cp, ok := l.latest[key]
+	if !ok {
+		return Checkpoint{}, false
+	}
+	return copyOut(cp), true
+}
+
+// LatestSlot returns the newest state for (session, slot) regardless of API
+// type — the lookup shard failover uses, because a migrating session knows
+// its handles (hence slots) but not which type's agent produced each.
+func (l *CheckpointLog) LatestSlot(session int, slot uint64) (Checkpoint, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var best *Checkpoint
+	for key, cp := range l.latest {
+		if key.Session != session || key.Slot != slot {
+			continue
+		}
+		// Two types writing one slot cannot happen (a slot embeds its owning
+		// agent's pid), but keep the pick deterministic anyway.
+		if best == nil || cp.Key.Type < best.Key.Type {
+			best = cp
+		}
+	}
+	if best == nil {
+		return Checkpoint{}, false
+	}
+	l.adoptions++
+	return copyOut(best), true
+}
+
+// Session returns the latest version of every key owned by session, sorted
+// by (Type, Slot) so iteration is deterministic.
+func (l *CheckpointLog) Session(session int) []Checkpoint {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []Checkpoint
+	for key, cp := range l.latest {
+		if key.Session == session {
+			out = append(out, copyOut(cp))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Key.Type != out[j].Key.Type {
+			return out[i].Key.Type < out[j].Key.Type
+		}
+		return out[i].Key.Slot < out[j].Key.Slot
+	})
+	return out
+}
+
+// Len returns the number of retained versions across all keys.
+func (l *CheckpointLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.history)
+}
+
+// Stats returns a snapshot of the log counters.
+func (l *CheckpointLog) Stats() CheckpointLogStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return CheckpointLogStats{
+		Appends: l.appends, Keys: len(l.latest),
+		Bytes: l.bytes, Adoptions: l.adoptions,
+	}
+}
+
+// String summarizes the log on one line.
+func (l *CheckpointLog) String() string {
+	st := l.Stats()
+	return fmt.Sprintf("ckptlog(keys=%d appends=%d bytes=%d adoptions=%d)", st.Keys, st.Appends, st.Bytes, st.Adoptions)
+}

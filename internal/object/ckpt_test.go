@@ -1,0 +1,107 @@
+package object
+
+import (
+	"bytes"
+	"testing"
+
+	"freepart.dev/freepart/internal/mem"
+)
+
+func TestCheckpointLogVersioning(t *testing.T) {
+	l := NewCheckpointLog()
+	key := CheckpointKey{Session: 3, Type: 2, Slot: Slot(4, 9)}
+
+	l.Append(key, KindBlob, nil, []byte("v1"))
+	l.Append(key, KindBlob, nil, []byte("v2"))
+
+	cp, ok := l.Latest(key)
+	if !ok {
+		t.Fatal("latest not found")
+	}
+	if cp.Version != 2 || !bytes.Equal(cp.Payload, []byte("v2")) {
+		t.Fatalf("latest = v%d %q, want v2 \"v2\"", cp.Version, cp.Payload)
+	}
+	st := l.Stats()
+	if st.Appends != 2 || st.Keys != 1 {
+		t.Fatalf("stats = %+v, want 2 appends over 1 key", st)
+	}
+}
+
+func TestCheckpointLogCopiesPayload(t *testing.T) {
+	l := NewCheckpointLog()
+	key := CheckpointKey{Session: 1, Type: 1, Slot: Slot(2, 1)}
+	buf := []byte("state")
+	l.Append(key, KindBlob, nil, buf)
+	buf[0] = 'X' // caller mutates its buffer after the append
+
+	cp, _ := l.Latest(key)
+	if !bytes.Equal(cp.Payload, []byte("state")) {
+		t.Fatalf("log shares caller memory: %q", cp.Payload)
+	}
+	// And the returned copy must not alias the log's internal storage.
+	cp.Payload[0] = 'Y'
+	cp2, _ := l.Latest(key)
+	if !bytes.Equal(cp2.Payload, []byte("state")) {
+		t.Fatalf("returned checkpoint aliases log storage: %q", cp2.Payload)
+	}
+}
+
+func TestCheckpointLogLatestSlot(t *testing.T) {
+	l := NewCheckpointLog()
+	l.Append(CheckpointKey{Session: 1, Type: 2, Slot: Slot(4, 7)}, KindBlob, nil, []byte("a"))
+	l.Append(CheckpointKey{Session: 2, Type: 2, Slot: Slot(4, 7)}, KindBlob, nil, []byte("b"))
+
+	cp, ok := l.LatestSlot(1, Slot(4, 7))
+	if !ok || !bytes.Equal(cp.Payload, []byte("a")) {
+		t.Fatalf("LatestSlot crossed sessions: ok=%v payload=%q", ok, cp.Payload)
+	}
+	if _, ok := l.LatestSlot(1, Slot(4, 8)); ok {
+		t.Fatal("found a checkpoint for a slot never written")
+	}
+}
+
+func TestCheckpointLogSessionOrdering(t *testing.T) {
+	l := NewCheckpointLog()
+	l.Append(CheckpointKey{Session: 5, Type: 3, Slot: Slot(6, 2)}, KindBlob, nil, []byte("x"))
+	l.Append(CheckpointKey{Session: 5, Type: 1, Slot: Slot(2, 9)}, KindBlob, nil, []byte("y"))
+	l.Append(CheckpointKey{Session: 5, Type: 1, Slot: Slot(2, 4)}, KindBlob, nil, []byte("z"))
+	l.Append(CheckpointKey{Session: 6, Type: 1, Slot: Slot(2, 4)}, KindBlob, nil, []byte("other"))
+
+	got := l.Session(5)
+	if len(got) != 3 {
+		t.Fatalf("session 5 has %d checkpoints, want 3", len(got))
+	}
+	// Sorted by type, then slot — a deterministic materialization order.
+	if got[0].Key.Slot != Slot(2, 4) || got[1].Key.Slot != Slot(2, 9) || got[2].Key.Type != 3 {
+		t.Fatalf("session order = %v", []CheckpointKey{got[0].Key, got[1].Key, got[2].Key})
+	}
+}
+
+func TestCheckpointMaterialize(t *testing.T) {
+	l := NewCheckpointLog()
+	key := CheckpointKey{Session: 0, Type: 2, Slot: Slot(3, 1)}
+	src := mem.NewSpace()
+	orig, err := NewBlob(src, []byte("payload-bytes"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := PayloadBytes(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Append(key, orig.Kind(), orig.Header(), pl)
+
+	cp, _ := l.Latest(key)
+	dst := mem.NewSpace()
+	o, err := cp.Materialize(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := PayloadBytes(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, pl) {
+		t.Fatalf("materialized payload = %q, want %q", got, pl)
+	}
+}
