@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race soak shardsoak bench serving failover
+.PHONY: check vet build test race soak shardsoak autoscalesoak bench serving failover autoscale
 
-check: vet build race soak shardsoak
+check: vet build race soak shardsoak autoscalesoak
 
 vet:
 	$(GO) vet ./...
@@ -43,3 +43,16 @@ serving:
 # and without the kill, drains, migrations).
 failover:
 	$(GO) run ./cmd/experiments -exp failover -json BENCH_failover.json
+
+# Autoscale soak under the race detector: the load ramp scaling a pool in
+# both directions while shard 1 crash-loops; outputs must match the
+# fixed-pool fault-free baseline and sched.Event logs must replay
+# byte-equal.
+autoscalesoak:
+	$(GO) test -race -run TestAutoscaleSoak -count=1 ./internal/chaos/
+
+# Autoscaling drill: the tracking load ramp under fixed pools and the
+# control plane, written to BENCH_autoscale.json (p99 and shard-seconds
+# versus the fixed n=max pool, scale/rebalance/batch activity).
+autoscale:
+	$(GO) run ./cmd/experiments -exp autoscale -json BENCH_autoscale.json

@@ -7,7 +7,7 @@
 //	experiments -exp fig13 -scale 8
 //
 // Experiments: table1..table12, fig4, fig6, fig7, fig13, a14, security,
-// robustness, serving, failover.
+// robustness, serving, failover, autoscale.
 package main
 
 import (
@@ -53,6 +53,7 @@ func main() {
 		"robustness": func() (string, error) { return report.TableRobustness(5, *sheets) },
 		"serving":    func() (string, error) { return report.TableServing(*requests, *jsonOut) },
 		"failover":   func() (string, error) { return report.TableFailover(*requests, *jsonOut) },
+		"autoscale":  func() (string, error) { return report.TableAutoscale(*jsonOut) },
 	}
 
 	if *exp != "" {

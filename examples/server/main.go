@@ -16,9 +16,17 @@
 // replacement through the portable checkpoint store, and the demo prints how
 // many sessions moved and what the failover added to the p99 latency.
 //
+// Pass -autoscale to run the control-plane act instead: the stateful
+// tracking workload under a load ramp, with the sched reconcile loop
+// growing the pool as burst clients join, rebalancing sessions onto fresh
+// shards, batching admissions, and shrinking — drain and migrate, no
+// corpse — after the burst leaves. The demo prints the replayable decision
+// log and the tail-latency/shard-seconds summary.
+//
 //	go run ./examples/server
 //	go run ./examples/server -concurrency 4 -requests 64
 //	go run ./examples/server -concurrency 4 -requests 64 -kill-shard 2@1ms
+//	go run ./examples/server -autoscale -concurrency 8
 package main
 
 import (
@@ -36,6 +44,7 @@ import (
 	"freepart.dev/freepart/internal/framework/all"
 	"freepart.dev/freepart/internal/framework/simcv"
 	"freepart.dev/freepart/internal/kernel"
+	"freepart.dev/freepart/internal/sched"
 	"freepart.dev/freepart/internal/vclock"
 	"freepart.dev/freepart/internal/workload"
 
@@ -43,15 +52,25 @@ import (
 )
 
 func main() {
-	concurrency := flag.Int("concurrency", 4, "runtime shards in the serving pool")
+	concurrency := flag.Int("concurrency", 4, "runtime shards in the serving pool (the ceiling with -autoscale)")
 	requests := flag.Int("requests", 32, "requests in the serving-mode stream")
 	killShard := flag.String("kill-shard", "", "failover drill: kill shard <id> at virtual time <d> into the run, e.g. 2@1ms")
+	autoscale := flag.Bool("autoscale", false, "autoscaling drill: serve the tracking load ramp with the control plane scaling 2..concurrency shards")
 	flag.Parse()
 	if *killShard != "" {
 		// Fail a typo fast, before the demo acts run.
 		if _, _, err := parseKillSpec(*killShard, *concurrency); err != nil {
 			log.Fatalf("-kill-shard: %v", err)
 		}
+	}
+	if *autoscale {
+		max := *concurrency
+		if max < 3 {
+			max = 3
+		}
+		fmt.Printf("=== FreePart autoscaling mode (2..%d shards) ===\n", max)
+		serveAutoscale(max)
+		return
 	}
 
 	fmt.Println("=== unprotected server ===")
@@ -241,6 +260,53 @@ func serveStream(shards int, reqs []apps.DetectionRequest, killID int, killAt vc
 			crit, float64(len(reqs))/crit.Seconds(), float64(ex.TotalWork())/float64(crit))
 	}
 	return ex, lat.P99()
+}
+
+// serveAutoscale runs the control-plane act: the stateful tracking ramp
+// (base clients for the whole run, burst clients joining mid-run and
+// leaving early) served by a pool the sched controller scales between 2
+// and max shards, with least-loaded placement and batched admission.
+func serveAutoscale(max int) {
+	reg := all.Registry()
+	cat := analysis.New(reg, nil).Categorize()
+	ex, err := core.NewExecutor(2, core.ProtectedShards(reg, cat, core.Default()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ex.Close()
+	srv := apps.ProvisionTracking(ex)
+	// Measure the serving window, not the (identical per shard) boot cost;
+	// shards the controller grows mid-run do pay their boot on the timeline.
+	for i := 0; i < ex.Shards(); i++ {
+		ex.Shard(i).K.Clock.Reset()
+	}
+	ctl := sched.New(ex, sched.DefaultPolicy(2, max), nil)
+
+	streams := apps.GenRampStreams(11, 4, 10, 128)
+	results := srv.ServeRamp(streams, ctl, ctl.Batch())
+	served := 0
+	for _, r := range results {
+		if r.Err != nil {
+			fmt.Printf("stream %d: failed (%s)\n", r.User, short(r.Err))
+			continue
+		}
+		served++
+	}
+
+	m := ex.Metrics().Snapshot()
+	lat := ex.Latencies()
+	crit := ex.CriticalPath()
+	fmt.Printf("served %d/%d streams; pool peaked at %d shards (floor 2, ceiling %d)\n",
+		served, len(streams), ctl.PeakShards(), max)
+	fmt.Printf("scale-ups: %d, scale-downs: %d, rebalances: %d, batched %d requests into %d admissions\n",
+		m.ScaleUps, m.ScaleDowns, m.Rebalances, m.BatchedRequests, m.BatchedAdmissions)
+	fmt.Printf("virtual latency: p50=%v p95=%v p99=%v\n", lat.P50(), lat.P95(), lat.P99())
+	fmt.Printf("shard-seconds: %v over a %v critical path (fixed n=%d would burn %v)\n",
+		ex.ShardSeconds(crit), crit, max, vclock.Duration(int64(max)*int64(crit)))
+	fmt.Println("decision log (replayable, byte-equal across runs):")
+	for _, ev := range ctl.Events() {
+		fmt.Printf("  %s\n", ev)
+	}
 }
 
 func short(err error) string {

@@ -77,7 +77,7 @@ type DetectionServer struct {
 	Ex *core.Executor
 
 	mu     sync.Mutex
-	models []core.Handle // per-shard loaded model
+	models map[int]core.Handle // per-shard loaded model, keyed by slot id
 	im     *object.Immutable
 }
 
@@ -108,9 +108,10 @@ func (srv *DetectionServer) model(id int) core.Handle {
 // ProvisionDetection builds the service on an executor: the classifier
 // bytes are built exactly once (copy-on-write shared across shards via the
 // store), then each shard loads the model into its own runtime. The same
-// load runs again on every replacement shard (via the executor's OnReplace
-// hook), so a failed-over shard serves with its model in place before any
-// migrated session's first request.
+// load runs again on every replacement shard and on every shard the
+// control plane grows into the pool (via the executor's OnReplace hook),
+// so a failed-over or newly scaled shard serves with its model in place
+// before its first request.
 func ProvisionDetection(ex *core.Executor) (*DetectionServer, error) {
 	im, err := ex.Store().Intern(detectionModelKey, object.KindBlob, nil, func() ([]byte, error) {
 		return simcv.EncodeClassifier(150, 4), nil
@@ -118,7 +119,7 @@ func ProvisionDetection(ex *core.Executor) (*DetectionServer, error) {
 	if err != nil {
 		return nil, err
 	}
-	srv := &DetectionServer{Ex: ex, models: make([]core.Handle, ex.Shards()), im: im}
+	srv := &DetectionServer{Ex: ex, models: make(map[int]core.Handle), im: im}
 	for i := 0; i < ex.Shards(); i++ {
 		if err := srv.loadModel(ex.Shard(i)); err != nil {
 			return nil, err

@@ -32,32 +32,77 @@ type TrackStream struct {
 	Points []TrackPoint
 	// Arrivals stamps each step's arrival on the virtual timeline.
 	Arrivals []vclock.Duration
+	// Offset is the wave the stream joins the ramp harness at (ServeRamp);
+	// zero means present from the start. ServeStreams ignores it.
+	Offset int
+}
+
+// trackStepGap spaces measurement arrivals within one stream.
+const trackStepGap = 80 * time.Microsecond
+
+// genTrackStream builds one deterministic stream: positions follow
+// per-user linear motion with a small deterministic wobble, arrivals are
+// uniformly spaced starting at the stream's join wave.
+func genTrackStream(seed int64, u, steps, offset int) TrackStream {
+	st := TrackStream{
+		User:     u + 1,
+		Start:    TrackPoint{X: float64((int(seed)+u*13)%40) + 5, Y: float64((int(seed)+u*29)%40) + 5},
+		Points:   make([]TrackPoint, steps),
+		Arrivals: make([]vclock.Duration, steps),
+		Offset:   offset,
+	}
+	vx, vy := float64(u%3)+1, float64(u%5)-2
+	for i := 0; i < steps; i++ {
+		wobble := float64((u*31+i*17)%7) - 3
+		st.Points[i] = TrackPoint{
+			X: st.Start.X + vx*float64(i+1) + wobble/2,
+			Y: st.Start.Y + vy*float64(i+1) - wobble/3,
+		}
+		st.Arrivals[i] = vclock.Duration(offset+i+1) * trackStepGap
+	}
+	return st
 }
 
 // GenTrackStreams produces n deterministic measurement streams of the
-// given length: positions follow per-user linear motion with a small
-// deterministic wobble, arrivals are uniformly spaced. Same inputs, same
-// streams — byte for byte.
+// given length. Same inputs, same streams — byte for byte.
 func GenTrackStreams(seed int64, n, steps int) []TrackStream {
-	const stepGap = 80 * time.Microsecond
 	out := make([]TrackStream, n)
 	for u := range out {
-		st := TrackStream{
-			User:     u + 1,
-			Start:    TrackPoint{X: float64((int(seed)+u*13)%40) + 5, Y: float64((int(seed)+u*29)%40) + 5},
-			Points:   make([]TrackPoint, steps),
-			Arrivals: make([]vclock.Duration, steps),
+		out[u] = genTrackStream(seed, u, steps, 0)
+	}
+	return out
+}
+
+// rampSpread is the wave gap between successive burst joins — about half
+// a shard boot (~16 waves), so the ramp climbs at a rate a scaling pool
+// can stay ahead of. A ramp faster than boot is unservable by any
+// autoscaler; it needs pre-provisioned capacity, which is what the fixed
+// n=max comparison row models.
+const rampSpread = 8
+
+// GenRampStreams produces the autoscaling drill's load shape: base streams
+// run the full length, then burst streams join mid-run — staggered one
+// every rampSpread waves — live for a quarter of the run, and leave.
+// Joins outpace departures on the way up (sessions accumulate to a
+// plateau) and reverse on the way down, so one run exercises both scale
+// directions with a drain-out window at the end for the pool to shrink
+// through. Deterministic in (seed, base, burst, steps).
+func GenRampStreams(seed int64, base, burst, steps int) []TrackStream {
+	out := make([]TrackStream, 0, base+burst)
+	for u := 0; u < base; u++ {
+		out = append(out, genTrackStream(seed, u, steps, 0))
+	}
+	joinAt := steps / 8
+	blen := steps / 4
+	if blen < 4 {
+		blen = 4
+	}
+	for j := 0; j < burst; j++ {
+		offset := joinAt + j*rampSpread
+		if offset+blen > steps {
+			offset = steps - blen
 		}
-		vx, vy := float64(u%3)+1, float64(u%5)-2
-		for i := 0; i < steps; i++ {
-			wobble := float64((u*31+i*17)%7) - 3
-			st.Points[i] = TrackPoint{
-				X: st.Start.X + vx*float64(i+1) + wobble/2,
-				Y: st.Start.Y + vy*float64(i+1) - wobble/3,
-			}
-			st.Arrivals[i] = vclock.Duration(i+1) * stepGap
-		}
-		out[u] = st
+		out = append(out, genTrackStream(seed, base+j, blen, offset))
 	}
 	return out
 }
@@ -134,6 +179,122 @@ func (srv *TrackingServer) ServeStreams(streams []TrackStream) []TrackResult {
 	return results
 }
 
+// Ticker is the control-plane hook ServeRamp invokes at every wave
+// barrier. sched.Controller implements it; taking the one-method interface
+// here keeps apps free of a sched import (and the harness usable with no
+// controller at all).
+type Ticker interface{ Tick() }
+
+// AdmissionBatcher coalesces one shard's wave queue into admission
+// batches for core.Executor.DoBatch. sched.Batcher implements it.
+type AdmissionBatcher interface {
+	Split([]core.BatchEntry) [][]core.BatchEntry
+}
+
+// ServeRamp runs streams wave by wave: wave w serves step w−Offset of
+// every stream active at w, with a full barrier between waves. Sessions
+// open lazily at their stream's join wave (in stream order, so placement
+// is deterministic), finished streams release their sessions via Finish,
+// and ctl.Tick — when a controller is attached — runs at each barrier,
+// where no invocation is in flight and pool state is a pure function of
+// the work done. Within a wave each shard slot drains its queue on its own
+// goroutine in stream order; a batcher coalesces that queue through
+// DoBatch. The slot-per-goroutine invariant survives chaos: failover
+// replaces a shard in its own slot, and control-plane migrations happen
+// only at barriers, so no two goroutines ever contend for one shard's
+// clock mid-wave — which is what keeps the controller's barrier reads, and
+// its event log, byte-reproducible.
+func (srv *TrackingServer) ServeRamp(streams []TrackStream, ctl Ticker, batcher AdmissionBatcher) []TrackResult {
+	results := make([]TrackResult, len(streams))
+	sessions := make([]*core.Session, len(streams))
+	waves := 0
+	for i := range streams {
+		if end := streams[i].Offset + len(streams[i].Points); end > waves {
+			waves = end
+		}
+	}
+	for w := 0; w < waves; w++ {
+		// Open sessions joining at this wave, in stream order.
+		for i := range streams {
+			if streams[i].Offset != w || sessions[i] != nil {
+				continue
+			}
+			sessions[i] = srv.Ex.Session()
+			results[i] = TrackResult{User: streams[i].User}
+			if results[i].Err = srv.initSession(sessions[i], streams[i]); results[i].Err != nil {
+				sessions[i].Finish()
+			}
+		}
+		// Queue this wave's steps per shard slot, in stream order.
+		byShard := make(map[int][]int)
+		var order []int
+		for i := range streams {
+			step := w - streams[i].Offset
+			if step < 0 || step >= len(streams[i].Points) || results[i].Err != nil {
+				continue
+			}
+			id := sessions[i].Shard().ID
+			if _, ok := byShard[id]; !ok {
+				order = append(order, id)
+			}
+			byShard[id] = append(byShard[id], i)
+		}
+		var wg sync.WaitGroup
+		for _, id := range order {
+			queue := byShard[id]
+			wg.Add(1)
+			go func(queue []int) {
+				defer wg.Done()
+				srv.serveWave(streams, sessions, results, queue, w, batcher)
+			}(queue)
+		}
+		wg.Wait()
+		// Release sessions whose stream just finished or errored out, so
+		// the control plane sees their shards as shrink/placement capacity.
+		for i := range streams {
+			if sessions[i] == nil || sessions[i].Done() {
+				continue
+			}
+			if results[i].Err != nil || w-streams[i].Offset == len(streams[i].Points)-1 {
+				sessions[i].Finish()
+			}
+		}
+		if ctl != nil {
+			ctl.Tick()
+		}
+	}
+	return results
+}
+
+// serveWave drains one shard slot's queue for one wave, optionally
+// coalescing admissions. Split returns consecutive subslices, so batch
+// errors map back to queue positions with a running cursor.
+func (srv *TrackingServer) serveWave(streams []TrackStream, sessions []*core.Session, results []TrackResult, queue []int, w int, batcher AdmissionBatcher) {
+	if batcher == nil {
+		for _, i := range queue {
+			results[i].Err = srv.serveStep(sessions[i], streams[i], w-streams[i].Offset, &results[i])
+		}
+		return
+	}
+	entries := make([]core.BatchEntry, len(queue))
+	for k, i := range queue {
+		step := w - streams[i].Offset
+		entries[k] = core.BatchEntry{
+			Session: sessions[i],
+			Arrival: streams[i].Arrivals[step],
+			Job:     srv.stepJob(sessions[i], streams[i], step, &results[i]),
+		}
+	}
+	pos := 0
+	for _, batch := range batcher.Split(entries) {
+		errs := srv.Ex.DoBatch(batch)
+		for k := range batch {
+			results[queue[pos+k]].Err = errs[k]
+		}
+		pos += len(batch)
+	}
+}
+
 // initSession creates the session's state tensor and seeds it with the
 // stream's start position. The seeding correct() is a stateful call, so
 // the state is in the portable checkpoint log before the first measurement
@@ -165,8 +326,15 @@ func (srv *TrackingServer) initSession(s *core.Session, st TrackStream) error {
 // a failover (between steps or mid-job) rebinds it to the state
 // materialized on the replacement shard.
 func (srv *TrackingServer) serveStep(s *core.Session, st TrackStream, step int, res *TrackResult) error {
+	return s.DoAt(st.Arrivals[step], srv.stepJob(s, st, step, res))
+}
+
+// stepJob builds the invocation body of one measurement step, shared by
+// the per-call path (serveStep) and the batched admission path (ServeRamp
+// hands it to core.Executor.DoBatch inside a BatchEntry).
+func (srv *TrackingServer) stepJob(s *core.Session, st TrackStream, step int, res *TrackResult) func(sh *core.Shard) error {
 	p := st.Points[step]
-	return s.DoAt(st.Arrivals[step], func(sh *core.Shard) error {
+	return func(sh *core.Shard) error {
 		h, ok := s.Bound(trackerBinding)
 		if !ok {
 			return fmt.Errorf("apps: session %d has no bound tracker state", s.ID)
@@ -181,7 +349,7 @@ func (srv *TrackingServer) serveStep(s *core.Session, st TrackStream, step int, 
 		}
 		res.Steps++
 		return nil
-	})
+	}
 }
 
 // restartAfter revives any crashed agents on the shard (availability

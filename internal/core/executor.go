@@ -36,6 +36,16 @@ type Shard struct {
 	Ex Caller
 	// Rt is set when Ex is a FreePart runtime; nil for direct shards.
 	Rt *Runtime
+	// JoinedAt is the virtual time the shard joined the serving pool: zero
+	// for shards built at construction, the scale-up decision time for
+	// shards the control plane grew. A failover replacement inherits its
+	// predecessor's JoinedAt (same pool slot, same lifetime). Written
+	// before the shard is published to the pool, immutable afterwards.
+	JoinedAt vclock.Duration
+
+	// retiredAt is set (under the executor's mu) when the control plane
+	// scales the shard in; zero for live shards and failover corpses.
+	retiredAt vclock.Duration
 
 	mu   sync.Mutex
 	jobs uint64
@@ -111,6 +121,46 @@ func (s *Shard) recordFailure(now, window vclock.Duration) int {
 		s.failures = keep
 	}
 	return len(s.failures)
+}
+
+// workerSem is a resizable counting semaphore bounding concurrent
+// admissions — the executor's worker pool. Capacity tracks the shard count
+// as the control plane grows and shrinks the pool; shrinking below the
+// in-use count simply blocks new admissions until enough slots drain.
+type workerSem struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	cap  int
+	used int
+}
+
+func newWorkerSem(n int) *workerSem {
+	s := &workerSem{cap: n}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+func (s *workerSem) acquire() {
+	s.mu.Lock()
+	for s.used >= s.cap {
+		s.cond.Wait()
+	}
+	s.used++
+	s.mu.Unlock()
+}
+
+func (s *workerSem) release() {
+	s.mu.Lock()
+	s.used--
+	s.cond.Signal()
+	s.mu.Unlock()
+}
+
+func (s *workerSem) setCap(n int) {
+	s.mu.Lock()
+	s.cap = n
+	s.cond.Broadcast()
+	s.mu.Unlock()
 }
 
 // ShardFactory builds the id-th shard of an executor. Factories must be
@@ -210,8 +260,9 @@ type FailoverEvent struct {
 	// Shard and Gen identify the shard incarnation the event concerns.
 	Shard int
 	Gen   int
-	// Kind is "kill", "drain", "replace", "replace-failed", "migrate", or
-	// "migrate-failed".
+	// Kind is "kill", "drain", "replace", "replace-failed", "migrate",
+	// "migrate-failed" — or a control-plane action: "grow", "shrink",
+	// "rebalance".
 	Kind string
 	// Detail carries the reason or subject (session id, error).
 	Detail string
@@ -236,27 +287,71 @@ func (ev FailoverEvent) String() string {
 // path: one shard, one worker, every invocation in submission order —
 // byte-identical outputs to calling the runtime directly.
 type Executor struct {
-	shards  []*Shard
 	store   *object.Store
 	ckpt    *object.CheckpointLog
 	factory ShardFactory
-	sem     chan struct{}
+	sem     *workerSem
 	lat     *vclock.Latencies
 	queue   *vclock.Latencies
 	met     *metrics.Counters
 
-	// failMu serializes whole failover operations (drain + replace +
-	// migrate), so two sessions observing one dead shard produce one
-	// replacement.
+	// failMu serializes whole pool-shape operations — failover (drain +
+	// replace + migrate) and control-plane grow/shrink/rebalance — so two
+	// sessions observing one dead shard produce one replacement, and a
+	// scale never races a failover on the same slot.
 	failMu sync.Mutex
 
 	mu        sync.Mutex
+	shards    []*Shard
 	sessions  []*Session
 	retired   []*Shard
 	killAt    map[int]vclock.Duration
 	events    []FailoverEvent
 	policy    HealthPolicy
 	onReplace func(*Shard) error
+	place     func(session int, pool []PlacementInfo) int
+	loads     map[int]*shardLoad
+}
+
+// shardLoad accumulates per-pool-slot (shard id, across incarnations)
+// admission signals, guarded by the executor's mu.
+type shardLoad struct {
+	waitSum vclock.Duration
+	waits   uint64
+	jobs    uint64
+}
+
+// PlacementInfo describes one live shard to a placement hook: enough for a
+// cost model to score it without reaching back into the executor.
+type PlacementInfo struct {
+	// ID is the shard's pool slot.
+	ID int
+	// Sessions is how many unfinished sessions are pinned to the shard.
+	Sessions int
+	// Clock is the shard's current virtual time.
+	Clock vclock.Duration
+}
+
+// ShardLoad is the per-slot load signal the control plane reconciles on:
+// cumulative admission-queue wait and job counts across every incarnation
+// of the slot (so a failover does not reset the signal), plus pool facts.
+type ShardLoad struct {
+	// ID is the pool slot; Gen the current incarnation.
+	ID  int
+	Gen int
+	// Sessions is how many unfinished sessions are pinned to the shard.
+	Sessions int
+	// Clock is the shard's current virtual time; JoinedAt when the slot
+	// joined the pool.
+	Clock    vclock.Duration
+	JoinedAt vclock.Duration
+	// WaitSum and Waits accumulate admission-queue delay: WaitSum/Waits is
+	// the slot's lifetime mean wait. The control plane diffs successive
+	// readings to get per-window means.
+	WaitSum vclock.Duration
+	Waits   uint64
+	// Jobs counts completed invocations on the slot.
+	Jobs uint64
 }
 
 // NewExecutor builds an executor over n shards produced by factory. The
@@ -269,11 +364,12 @@ func NewExecutor(n int, factory ShardFactory) (*Executor, error) {
 		store:   object.NewStore(),
 		ckpt:    object.NewCheckpointLog(),
 		factory: factory,
-		sem:     make(chan struct{}, n),
+		sem:     newWorkerSem(n),
 		lat:     &vclock.Latencies{},
 		queue:   &vclock.Latencies{},
 		met:     metrics.New(),
 		killAt:  make(map[int]vclock.Duration),
+		loads:   make(map[int]*shardLoad),
 	}
 	for i := 0; i < n; i++ {
 		sh, err := factory(i)
@@ -289,8 +385,14 @@ func NewExecutor(n int, factory ShardFactory) (*Executor, error) {
 	return e, nil
 }
 
-// Shards returns the shard count.
-func (e *Executor) Shards() int { return len(e.shards) }
+// Shards returns the current shard count. The control plane can change it
+// at reconcile points (Grow/Shrink); with no control plane attached it is
+// fixed at construction.
+func (e *Executor) Shards() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.shards)
+}
 
 // Shard returns the current incarnation serving shard id i.
 func (e *Executor) Shard(i int) *Shard {
@@ -311,7 +413,10 @@ func (e *Executor) Incarnations(id int) []*Shard {
 			out = append(out, sh)
 		}
 	}
-	return append(out, e.shards[id])
+	if id < len(e.shards) {
+		out = append(out, e.shards[id])
+	}
+	return out
 }
 
 // Store returns the executor's shared read-only object store.
@@ -409,13 +514,42 @@ func (e *Executor) healthPolicy() HealthPolicy {
 }
 
 // recordEvent appends to the failover log, stamped on the subject shard's
-// clock.
+// clock, and bumps the matching metrics counter inside the same critical
+// section. Counter and log mutate atomically with respect to
+// EventsAndMetrics, so a snapshot taken mid-migration can never show a
+// count the paired log doesn't explain (or vice versa).
 func (e *Executor) recordEvent(sh *Shard, kind, detail string) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.events = append(e.events, FailoverEvent{
 		At: sh.K.Clock.Now(), Shard: sh.ID, Gen: sh.Gen, Kind: kind, Detail: detail,
 	})
+	switch kind {
+	case "drain":
+		e.met.AddShardDrain()
+	case "migrate":
+		e.met.AddMigration()
+	case "migrate-failed":
+		e.met.AddFailedMigration()
+	case "grow":
+		e.met.AddScaleUp()
+	case "shrink":
+		e.met.AddScaleDown()
+	case "rebalance":
+		e.met.AddRebalance()
+	}
+}
+
+// EventsAndMetrics returns the control event log and the metrics snapshot
+// under one lock acquisition: the pair is consistent — every drain,
+// migration, scale, and rebalance counted in the snapshot has its event in
+// the log, even while migrations are in flight on other goroutines.
+func (e *Executor) EventsAndMetrics() ([]FailoverEvent, metrics.Snapshot) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]FailoverEvent, len(e.events))
+	copy(out, e.events)
+	return out, e.met.Snapshot()
 }
 
 // FailoverEvents returns a copy of the full failover log.
@@ -465,16 +599,50 @@ func (e *Executor) TotalWork() vclock.Duration {
 	return sum
 }
 
-// Session opens a session pinned to the next shard round-robin. Assignment
-// order is the order Session is called in, so sequential opens are
-// deterministic.
+// SetPlacement installs a pluggable placement hook for new sessions: given
+// the session id and a snapshot of the live pool, it returns the shard slot
+// to pin to. Nil (the default) keeps round-robin by open order — the
+// n=1-bit-identical policy every experiment before the control plane used.
+// An out-of-range return falls back to round-robin.
+func (e *Executor) SetPlacement(fn func(session int, pool []PlacementInfo) int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.place = fn
+}
+
+// placementPoolLocked snapshots the live pool for a placement decision.
+// Caller holds e.mu.
+func (e *Executor) placementPoolLocked() []PlacementInfo {
+	pinned := make(map[int]int)
+	for _, s := range e.sessions {
+		if s.Done() {
+			continue
+		}
+		pinned[s.Shard().ID]++
+	}
+	pool := make([]PlacementInfo, len(e.shards))
+	for i, sh := range e.shards {
+		pool[i] = PlacementInfo{ID: sh.ID, Sessions: pinned[sh.ID], Clock: sh.K.Clock.Now()}
+	}
+	return pool
+}
+
+// Session opens a session pinned to a shard chosen by the placement hook —
+// round-robin by open order when none is installed. Assignment order is the
+// order Session is called in, so sequential opens are deterministic.
 func (e *Executor) Session() *Session {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	id := len(e.sessions) % len(e.shards)
+	if e.place != nil {
+		if p := e.place(len(e.sessions), e.placementPoolLocked()); p >= 0 && p < len(e.shards) {
+			id = p
+		}
+	}
 	s := &Session{
 		ID:    len(e.sessions),
 		ex:    e,
-		shard: e.shards[len(e.sessions)%len(e.shards)],
+		shard: e.shards[id],
 		bound: make(map[string]Handle),
 	}
 	e.sessions = append(e.sessions, s)
@@ -517,10 +685,10 @@ func (e *Executor) failover(old *Shard) error {
 	e.failMu.Lock()
 	defer e.failMu.Unlock()
 	e.mu.Lock()
-	cur := e.shards[old.ID]
+	replaced := old.ID >= len(e.shards) || e.shards[old.ID] != old
 	e.mu.Unlock()
-	if cur != old {
-		return nil // already replaced
+	if replaced {
+		return nil // already replaced (or the slot was scaled in)
 	}
 
 	// Quiesce: once old.mu is held, no invocation is running on the shard
@@ -529,7 +697,6 @@ func (e *Executor) failover(old *Shard) error {
 	old.mu.Lock()
 	defer old.mu.Unlock()
 
-	e.met.AddShardDrain()
 	e.recordEvent(old, "drain", old.FailReason())
 
 	repl, err := e.factory(old.ID)
@@ -538,6 +705,7 @@ func (e *Executor) failover(old *Shard) error {
 		return fmt.Errorf("core: shard %d lost and replacement failed: %w", old.ID, err)
 	}
 	repl.Gen = old.Gen + 1
+	repl.JoinedAt = old.JoinedAt
 	// The replacement joins the run's timeline: available at the dead
 	// shard's virtual time plus its own boot cost (its clock accumulated
 	// boot work starting from zero).
@@ -568,12 +736,16 @@ func (e *Executor) failover(old *Shard) error {
 		if !s.pinnedTo(old) {
 			continue
 		}
+		if s.Done() {
+			// Nothing left to serve: repoint without materializing state so
+			// no session ever dangles on a retired shard.
+			s.repoint(repl)
+			continue
+		}
 		if merr := s.migrate(repl); merr != nil {
-			e.met.AddFailedMigration()
 			e.recordEvent(repl, "migrate-failed", fmt.Sprintf("session %d: %v", s.ID, merr))
 			continue
 		}
-		e.met.AddMigration()
 		e.recordEvent(repl, "migrate", fmt.Sprintf("session %d", s.ID))
 	}
 
@@ -581,6 +753,261 @@ func (e *Executor) failover(old *Shard) error {
 		old.Rt.Close()
 	}
 	return nil
+}
+
+// Grow appends one shard to the pool at virtual time `at` (the scale-up
+// decision time on the run's critical path). The new shard is built by the
+// retained factory under the next free slot id, joins the run's timeline at
+// `at` plus its own boot cost — the same join rule as a failover
+// replacement — is provisioned through the OnReplace hook, and then starts
+// admitting work. Intended to be called from a control-plane reconcile
+// point with no admissions racing the pool change.
+func (e *Executor) Grow(at vclock.Duration) (*Shard, error) {
+	e.failMu.Lock()
+	defer e.failMu.Unlock()
+	e.mu.Lock()
+	id := len(e.shards)
+	onReplace := e.onReplace
+	e.mu.Unlock()
+
+	sh, err := e.factory(id)
+	if err != nil {
+		return nil, fmt.Errorf("core: grow shard %d: %w", id, err)
+	}
+	// The factory left the shard's clock at its boot cost; the shard
+	// starts booting at `at`, so it joins the timeline at at + boot.
+	boot := sh.K.Clock.Now()
+	sh.K.Clock.Observe(at + boot)
+	sh.JoinedAt = at
+	if sh.Rt != nil {
+		sh.Rt.SetCheckpointLog(e.ckpt)
+	}
+	if onReplace != nil {
+		if perr := onReplace(sh); perr != nil {
+			if sh.Rt != nil {
+				sh.Rt.Close()
+			}
+			return nil, fmt.Errorf("core: grow shard %d provisioning: %w", id, perr)
+		}
+	}
+	e.mu.Lock()
+	e.shards = append(e.shards, sh)
+	n := len(e.shards)
+	e.mu.Unlock()
+	e.sem.setCap(n)
+	e.recordEvent(sh, "grow", fmt.Sprintf("pool %d", n))
+	return sh, nil
+}
+
+// MigrationPlan is a control-plane decision about where one session moves
+// during a shrink: the destination slot, plus any extra virtual transfer
+// cost the move pays on the destination clock (e.g. the cross-socket
+// penalty of a locality-aware cost model).
+type MigrationPlan struct {
+	Dest  int
+	Extra vclock.Duration
+}
+
+// Shrink retires the highest-slot shard — scale-in is failover without a
+// corpse: the victim is quiesced, removed from the pool so no new session
+// can land on it, and every session pinned to it migrates through the
+// portable checkpoint log to a destination chosen by plan (least-pinned
+// live shard when plan is nil). Must run from a control-plane reconcile
+// point: in-flight admissions on other shards are fine, but the victim must
+// be idle (the quiesce lock guarantees it, at the price of blocking until
+// its current job drains).
+func (e *Executor) Shrink(plan func(session int, pool []PlacementInfo) MigrationPlan) (*Shard, error) {
+	e.failMu.Lock()
+	defer e.failMu.Unlock()
+	e.mu.Lock()
+	if len(e.shards) <= 1 {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("core: cannot shrink below one shard")
+	}
+	victim := e.shards[len(e.shards)-1]
+	e.mu.Unlock()
+
+	// Quiesce, then unpublish: once victim.mu is held no invocation is
+	// running on it, and once it leaves e.shards no session can be placed
+	// on it — any session in the snapshot below is the complete set.
+	victim.mu.Lock()
+	defer victim.mu.Unlock()
+	e.mu.Lock()
+	e.shards = e.shards[:len(e.shards)-1]
+	n := len(e.shards)
+	victim.retiredAt = victim.K.Clock.Now()
+	e.retired = append(e.retired, victim)
+	delete(e.killAt, victim.ID)
+	sessions := append([]*Session(nil), e.sessions...)
+	e.mu.Unlock()
+	e.sem.setCap(n)
+	e.recordEvent(victim, "shrink", fmt.Sprintf("pool %d", n))
+
+	for _, s := range sessions {
+		if !s.pinnedTo(victim) {
+			continue
+		}
+		e.mu.Lock()
+		pool := e.placementPoolLocked()
+		e.mu.Unlock()
+		p := leastPinnedPlan(s.ID, pool)
+		if plan != nil {
+			p = plan(s.ID, pool)
+		}
+		if p.Dest < 0 || p.Dest >= n {
+			p = leastPinnedPlan(s.ID, pool)
+		}
+		dest := e.Shard(p.Dest)
+		if s.Done() {
+			s.repoint(dest)
+			continue
+		}
+		dest.K.Clock.Advance(p.Extra)
+		if merr := s.migrate(dest); merr != nil {
+			e.recordEvent(dest, "migrate-failed", fmt.Sprintf("session %d: %v", s.ID, merr))
+			continue
+		}
+		e.recordEvent(dest, "migrate", fmt.Sprintf("session %d off shard %d", s.ID, victim.ID))
+	}
+
+	victim.fail("scaled in")
+	if victim.Rt != nil {
+		victim.Rt.Close()
+	}
+	return victim, nil
+}
+
+// leastPinnedPlan is the fallback shrink destination: fewest pinned
+// sessions, lowest slot on ties, no extra transfer cost.
+func leastPinnedPlan(_ int, pool []PlacementInfo) MigrationPlan {
+	best := 0
+	for i, p := range pool {
+		if p.Sessions < pool[best].Sessions {
+			best = i
+		}
+	}
+	return MigrationPlan{Dest: pool[best].ID}
+}
+
+// MigrateSession proactively moves one session to the shard in slot dest,
+// materializing its bound state there from the checkpoint log — the same
+// move a failover performs, issued by the control plane against a healthy
+// (merely hot) source shard. extra is added virtual transfer cost on the
+// destination clock (cross-socket penalty). The source shard is quiesced
+// for the duration of the move so no checkpoint write races it.
+func (e *Executor) MigrateSession(session, dest int, extra vclock.Duration) error {
+	e.failMu.Lock()
+	defer e.failMu.Unlock()
+	e.mu.Lock()
+	if session < 0 || session >= len(e.sessions) {
+		e.mu.Unlock()
+		return fmt.Errorf("core: no session %d", session)
+	}
+	if dest < 0 || dest >= len(e.shards) {
+		e.mu.Unlock()
+		return fmt.Errorf("core: no shard slot %d", dest)
+	}
+	s := e.sessions[session]
+	d := e.shards[dest]
+	e.mu.Unlock()
+
+	from := s.Shard()
+	if from == d || s.Done() {
+		return nil
+	}
+	from.mu.Lock()
+	defer from.mu.Unlock()
+	if !s.pinnedTo(from) {
+		return nil // moved while we waited (failover won the race)
+	}
+	d.K.Clock.Advance(extra)
+	if merr := s.migrate(d); merr != nil {
+		e.recordEvent(d, "migrate-failed", fmt.Sprintf("session %d: %v", s.ID, merr))
+		return merr
+	}
+	e.recordEvent(d, "rebalance", fmt.Sprintf("session %d from shard %d", s.ID, from.ID))
+	return nil
+}
+
+// noteWait folds one admission wait into the per-slot load signal. Called
+// with the subject shard's mu held (shard mu orders before executor mu).
+func (e *Executor) noteWait(id int, wait vclock.Duration) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	l := e.loads[id]
+	if l == nil {
+		l = &shardLoad{}
+		e.loads[id] = l
+	}
+	l.waitSum += wait
+	l.waits++
+	l.jobs++
+}
+
+// ShardLoads snapshots the control-plane signal: one entry per live pool
+// slot, ascending by slot, with cumulative wait/job counters that survive
+// failover (they key on the slot, not the incarnation).
+func (e *Executor) ShardLoads() []ShardLoad {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	pinned := make(map[int]int)
+	for _, s := range e.sessions {
+		if s.Done() {
+			continue
+		}
+		pinned[s.Shard().ID]++
+	}
+	out := make([]ShardLoad, len(e.shards))
+	for i, sh := range e.shards {
+		out[i] = ShardLoad{
+			ID: sh.ID, Gen: sh.Gen,
+			Sessions: pinned[sh.ID],
+			Clock:    sh.K.Clock.Now(),
+			JoinedAt: sh.JoinedAt,
+		}
+		if l := e.loads[sh.ID]; l != nil {
+			out[i].WaitSum, out[i].Waits, out[i].Jobs = l.waitSum, l.waits, l.jobs
+		}
+	}
+	return out
+}
+
+// PinnedSessions returns the ids of unfinished sessions currently pinned to
+// the shard in slot id, ascending — the control plane's rebalance
+// candidates.
+func (e *Executor) PinnedSessions(id int) []int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var out []int
+	for _, s := range e.sessions {
+		if !s.Done() && s.Shard().ID == id {
+			out = append(out, s.ID)
+		}
+	}
+	return out
+}
+
+// ShardSeconds integrates pool size over the virtual timeline up to end:
+// every live slot contributes end − JoinedAt, and every scaled-in shard its
+// actual lifetime. Failover corpses contribute nothing — their replacement
+// inherited the slot's JoinedAt, so the slot's lifetime is counted once.
+// This is the resource-cost denominator of the autoscaling experiment:
+// latency parity at fewer shard-seconds is the win.
+func (e *Executor) ShardSeconds(end vclock.Duration) vclock.Duration {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var sum vclock.Duration
+	for _, sh := range e.shards {
+		if end > sh.JoinedAt {
+			sum += end - sh.JoinedAt
+		}
+	}
+	for _, sh := range e.retired {
+		if sh.retiredAt > sh.JoinedAt {
+			sum += sh.retiredAt - sh.JoinedAt
+		}
+	}
+	return sum
 }
 
 // Session is one client's stream of pipeline invocations. All of a
@@ -597,6 +1024,7 @@ type Session struct {
 	mu    sync.Mutex
 	shard *Shard
 	bound map[string]Handle
+	done  bool
 }
 
 // Shard returns the shard this session is currently pinned to.
@@ -611,6 +1039,30 @@ func (s *Session) pinnedTo(sh *Shard) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.shard == sh
+}
+
+// Finish marks the session complete: it will issue no further invocations,
+// so the control plane stops counting it toward shard load and skips it
+// when migrating state off a drained or shrinking shard.
+func (s *Session) Finish() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.done = true
+}
+
+// Done reports whether the session has been finished.
+func (s *Session) Done() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.done
+}
+
+// repoint moves the session's pin without materializing any state — used
+// for finished sessions so nothing dangles on a retired shard.
+func (s *Session) repoint(to *Shard) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.shard = to
 }
 
 // Bind registers a durable stateful handle under a name. Bound handles are
@@ -702,8 +1154,8 @@ func (s *Session) Do(job func(sh *Shard) error) error {
 // mid-invocation re-runs the invocation there too, so callers never observe
 // the loss of a shard.
 func (s *Session) DoAt(arrival vclock.Duration, job func(sh *Shard) error) error {
-	s.ex.sem <- struct{}{}
-	defer func() { <-s.ex.sem }()
+	s.ex.sem.acquire()
+	defer s.ex.sem.release()
 
 	for {
 		sh := s.currentShard()
@@ -713,62 +1165,138 @@ func (s *Session) DoAt(arrival vclock.Duration, job func(sh *Shard) error) error
 			sh.mu.Unlock()
 			continue
 		}
-		e := s.ex
-		e.applyScheduledKill(sh)
-		pol := e.healthPolicy()
-		if !sh.Failed() && pol.DrainOnDegrade && sh.Rt != nil && sh.Rt.Metrics.Snapshot().Degraded > 0 {
-			sh.fail("partition degraded to in-host execution")
+		done, err := s.runLocked(sh, &arrival, job)
+		failed := sh.Failed()
+		sh.mu.Unlock()
+		if done {
+			return err
 		}
-		if sh.Failed() {
-			sh.mu.Unlock()
-			if err := e.failover(sh); err != nil {
-				return err
+		if failed {
+			// The shard was lost — already at admission, or under this
+			// invocation: fail over and re-run on the replacement. The
+			// retry keeps the original arrival, so failover time lands in
+			// the tail percentiles.
+			if ferr := s.ex.failover(sh); ferr != nil {
+				return ferr
 			}
+		}
+	}
+}
+
+// runLocked runs one admitted invocation on sh; the caller holds sh.mu and
+// a worker-pool slot. It returns done=false when the invocation must be
+// re-run after a failover — the shard was already failed at admission, or
+// it died under this invocation. *arrival resolves to "now" on first
+// admission when negative and is kept across retries.
+func (s *Session) runLocked(sh *Shard, arrival *vclock.Duration, job func(sh *Shard) error) (bool, error) {
+	e := s.ex
+	e.applyScheduledKill(sh)
+	pol := e.healthPolicy()
+	if !sh.Failed() && pol.DrainOnDegrade && sh.Rt != nil && sh.Rt.Metrics.Snapshot().Degraded > 0 {
+		sh.fail("partition degraded to in-host execution")
+	}
+	if sh.Failed() {
+		return false, nil
+	}
+
+	now := sh.K.Clock.Now()
+	if *arrival < 0 {
+		*arrival = now
+	}
+	wait := vclock.Duration(0)
+	if *arrival > now {
+		sh.K.Clock.Observe(*arrival)
+	} else {
+		wait = now - *arrival
+	}
+	if sh.Rt != nil {
+		sh.Rt.SetSessionScope(s.ID)
+	}
+	err := job(sh)
+	if sh.Rt != nil {
+		sh.Rt.SetSessionScope(-1)
+	}
+	end := sh.K.Clock.Now()
+	sh.jobs++
+
+	crashed := isCrashClass(err, sh)
+	if crashed && pol.FailThreshold > 0 {
+		if n := sh.recordFailure(end, pol.FailWindow); n >= pol.FailThreshold {
+			sh.fail(fmt.Sprintf("%d crash-class failures in window", n))
+		}
+	}
+	if crashed && sh.Failed() {
+		return false, nil
+	}
+	e.lat.Add(end - *arrival)
+	e.queue.Add(wait)
+	e.noteWait(sh.ID, wait)
+	return true, err
+}
+
+// BatchEntry is one invocation inside a coalesced admission batch.
+type BatchEntry struct {
+	// Session runs the entry; entries of one batch should share a shard.
+	Session *Session
+	// Arrival is the entry's arrival stamp; negative means "arrived at
+	// admission".
+	Arrival vclock.Duration
+	// Job is the invocation body.
+	Job func(sh *Shard) error
+}
+
+// DoBatch admits a coalesced batch of invocations as one unit: one
+// worker-pool slot for the whole batch, and one shard-lock acquisition per
+// run of consecutive entries pinned to the same shard — amortizing the
+// per-invocation semaphore and lock traffic that streams of small requests
+// otherwise pay. Entries execute in order; each keeps its own arrival stamp
+// and records its own latency and queue wait, so batching changes admission
+// cost, not measured semantics. Failover semantics match DoAt: a shard lost
+// mid-batch fails over once and the remaining entries re-run on the
+// replacement. Returns one error per entry.
+func (e *Executor) DoBatch(entries []BatchEntry) []error {
+	errs := make([]error, len(entries))
+	if len(entries) == 0 {
+		return errs
+	}
+	e.sem.acquire()
+	defer e.sem.release()
+	e.met.AddBatchedAdmission(len(entries))
+
+	next := 0
+	for next < len(entries) {
+		s := entries[next].Session
+		sh := s.currentShard()
+		sh.mu.Lock()
+		if sh != s.currentShard() {
+			sh.mu.Unlock()
 			continue
 		}
-
-		now := sh.K.Clock.Now()
-		if arrival < 0 {
-			arrival = now
-		}
-		wait := vclock.Duration(0)
-		if arrival > now {
-			sh.K.Clock.Observe(arrival)
-		} else {
-			wait = now - arrival
-		}
-		if sh.Rt != nil {
-			sh.Rt.SetSessionScope(s.ID)
-		}
-		err := job(sh)
-		if sh.Rt != nil {
-			sh.Rt.SetSessionScope(-1)
-		}
-		end := sh.K.Clock.Now()
-		sh.jobs++
-
-		crashed := isCrashClass(err, sh)
-		if crashed && pol.FailThreshold > 0 {
-			if n := sh.recordFailure(end, pol.FailWindow); n >= pol.FailThreshold {
-				sh.fail(fmt.Sprintf("%d crash-class failures in window", n))
+		// Serve as many consecutive entries pinned to sh as possible under
+		// this one lock hold.
+		for next < len(entries) {
+			en := &entries[next]
+			if en.Session.currentShard() != sh {
+				break
 			}
+			done, err := en.Session.runLocked(sh, &en.Arrival, en.Job)
+			if !done {
+				break
+			}
+			errs[next] = err
+			next++
 		}
 		failed := sh.Failed()
 		sh.mu.Unlock()
-
-		if crashed && failed {
-			// The shard died under this invocation: fail over and re-run it
-			// on the replacement. The latency sample keeps the original
-			// arrival, so failover time lands in the tail percentiles.
+		if failed {
 			if ferr := e.failover(sh); ferr != nil {
-				return ferr
+				for ; next < len(entries); next++ {
+					errs[next] = ferr
+				}
 			}
-			continue
 		}
-		e.lat.Add(end - arrival)
-		e.queue.Add(wait)
-		return err
 	}
+	return errs
 }
 
 // Call implements Caller on the session: a single-API invocation submitted

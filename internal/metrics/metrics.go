@@ -33,6 +33,12 @@ type Counters struct {
 	shardDrains      uint64
 	migrations       uint64
 	failedMigrations uint64
+
+	scaleUps          uint64
+	scaleDowns        uint64
+	rebalances        uint64
+	batchedAdmissions uint64
+	batchedRequests   uint64
 }
 
 // Snapshot is an immutable copy of the counters.
@@ -69,6 +75,20 @@ type Snapshot struct {
 	// FailedMigrations counts sessions (or bound state objects) that could
 	// not be moved — no checkpoint to restore from, or the restore failed.
 	FailedMigrations uint64
+
+	// ScaleUps counts shards the control plane added to the serving pool.
+	ScaleUps uint64
+	// ScaleDowns counts shards the control plane retired from the pool
+	// (shrink = drain + migrate, without a corpse).
+	ScaleDowns uint64
+	// Rebalances counts sessions proactively migrated off a hot shard by
+	// the control plane before any failure.
+	Rebalances uint64
+	// BatchedAdmissions counts coalesced admission batches; BatchedRequests
+	// counts the invocations they carried. Requests − Batches is the number
+	// of worker-pool acquisitions the batching layer amortized away.
+	BatchedAdmissions uint64
+	BatchedRequests   uint64
 }
 
 // New creates zeroed counters.
@@ -192,6 +212,37 @@ func (c *Counters) AddFailedMigration() {
 	c.failedMigrations++
 }
 
+// AddScaleUp records one shard added to the pool by the control plane.
+func (c *Counters) AddScaleUp() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.scaleUps++
+}
+
+// AddScaleDown records one shard retired from the pool by the control plane.
+func (c *Counters) AddScaleDown() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.scaleDowns++
+}
+
+// AddRebalance records one session proactively migrated off a hot shard.
+func (c *Counters) AddRebalance() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.rebalances++
+}
+
+// AddBatchedAdmission records one coalesced admission batch of n requests.
+func (c *Counters) AddBatchedAdmission(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.batchedAdmissions++
+	if n > 0 {
+		c.batchedRequests += uint64(n)
+	}
+}
+
 // Snapshot returns a copy of the counters.
 func (c *Counters) Snapshot() Snapshot {
 	c.mu.Lock()
@@ -206,6 +257,9 @@ func (c *Counters) Snapshot() Snapshot {
 		DegradedCalls: c.degradedCalls, InjectedFaults: c.injectedFaults,
 		ShardDrains: c.shardDrains, Migrations: c.migrations,
 		FailedMigrations: c.failedMigrations,
+		ScaleUps:   c.scaleUps, ScaleDowns: c.scaleDowns,
+		Rebalances: c.rebalances, BatchedAdmissions: c.batchedAdmissions,
+		BatchedRequests: c.batchedRequests,
 	}
 }
 

@@ -56,6 +56,20 @@ type CheckpointLogStats struct {
 	Bytes uint64
 	// Adoptions is how many checkpoints were read for cross-shard adoption.
 	Adoptions uint64
+	// Compactions is how many compaction passes ran; Retired is how many
+	// superseded versions they dropped in total.
+	Compactions uint64
+	Retired     uint64
+}
+
+// CompactStats reports one compaction pass.
+type CompactStats struct {
+	// Retired is how many superseded versions this pass dropped.
+	Retired int
+	// Kept is how many versions remain (one per live key).
+	Kept int
+	// BytesFreed is the payload volume the retired versions held.
+	BytesFreed uint64
 }
 
 // CheckpointLog is the portable, copy-on-write checkpoint store of the
@@ -70,9 +84,11 @@ type CheckpointLog struct {
 	latest  map[CheckpointKey]*Checkpoint
 	history []*Checkpoint
 
-	appends   uint64
-	bytes     uint64
-	adoptions uint64
+	appends     uint64
+	bytes       uint64
+	adoptions   uint64
+	compactions uint64
+	retired     uint64
 }
 
 // NewCheckpointLog creates an empty log.
@@ -168,6 +184,35 @@ func (l *CheckpointLog) Session(session int) []Checkpoint {
 	return out
 }
 
+// Compact retires every superseded version, keeping only the latest per
+// (session, API type, slot) key. Readers only ever resolve Latest/LatestSlot
+// versions, so compaction is invisible to failover and adoption; what it
+// buys is bounded memory for long-running services — after a pass, retained
+// versions equal live keys, however many appends the service has issued.
+// The control plane runs it after each migration wave.
+func (l *CheckpointLog) Compact() CompactStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st := CompactStats{Kept: len(l.latest)}
+	if len(l.history) == len(l.latest) {
+		return st
+	}
+	kept := make([]*Checkpoint, 0, len(l.latest))
+	for _, cp := range l.history {
+		if l.latest[cp.Key] == cp {
+			kept = append(kept, cp)
+			continue
+		}
+		st.Retired++
+		st.BytesFreed += uint64(len(cp.Payload))
+	}
+	l.history = kept
+	l.bytes -= st.BytesFreed
+	l.compactions++
+	l.retired += uint64(st.Retired)
+	return st
+}
+
 // Len returns the number of retained versions across all keys.
 func (l *CheckpointLog) Len() int {
 	l.mu.Lock()
@@ -182,6 +227,7 @@ func (l *CheckpointLog) Stats() CheckpointLogStats {
 	return CheckpointLogStats{
 		Appends: l.appends, Keys: len(l.latest),
 		Bytes: l.bytes, Adoptions: l.adoptions,
+		Compactions: l.compactions, Retired: l.retired,
 	}
 }
 

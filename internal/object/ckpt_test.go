@@ -77,6 +77,48 @@ func TestCheckpointLogSessionOrdering(t *testing.T) {
 	}
 }
 
+func TestCheckpointLogCompactBoundedMemory(t *testing.T) {
+	// A long-running stateful service checkpoints every stateful call, so
+	// version history grows without bound unless compaction holds retained
+	// versions at one per live key. Simulate many update rounds over a
+	// fixed key set, compacting periodically the way the control plane
+	// does after each migration wave.
+	l := NewCheckpointLog()
+	keys := make([]CheckpointKey, 8)
+	for i := range keys {
+		keys[i] = CheckpointKey{Session: i % 4, Type: 2, Slot: Slot(3, uint64(i))}
+	}
+	for round := 0; round < 100; round++ {
+		for _, k := range keys {
+			l.Append(k, KindBlob, nil, []byte{byte(round), byte(k.Session)})
+		}
+		if round%10 == 9 {
+			st := l.Compact()
+			if st.Kept != len(keys) {
+				t.Fatalf("round %d: kept %d versions, want %d", round, st.Kept, len(keys))
+			}
+			if got := l.Len(); got != len(keys) {
+				t.Fatalf("round %d: log retains %d versions after compaction, want %d", round, got, len(keys))
+			}
+		}
+	}
+	// Compaction must never lose the newest version.
+	for _, k := range keys {
+		cp, ok := l.Latest(k)
+		if !ok || cp.Payload[0] != 99 {
+			t.Fatalf("key %v: latest after compaction = %v %v, want round-99 payload", k, ok, cp.Payload)
+		}
+	}
+	// An already-compact log is a no-op pass.
+	if st := l.Compact(); st.Retired != 0 {
+		t.Fatalf("second compaction retired %d versions, want 0", st.Retired)
+	}
+	st := l.Stats()
+	if st.Appends != 800 || st.Retired == 0 {
+		t.Fatalf("stats = %+v, want 800 appends and a nonzero retire count", st)
+	}
+}
+
 func TestCheckpointMaterialize(t *testing.T) {
 	l := NewCheckpointLog()
 	key := CheckpointKey{Session: 0, Type: 2, Slot: Slot(3, 1)}

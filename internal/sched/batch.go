@@ -1,0 +1,63 @@
+package sched
+
+import (
+	"freepart.dev/freepart/internal/core"
+	"freepart.dev/freepart/internal/vclock"
+)
+
+// Batcher is the admission-coalescing policy: consecutive requests whose
+// virtual arrivals fall within one flush window are admitted through a
+// single worker-pool acquisition (core.Executor.DoBatch), amortizing the
+// admission cost the way the paper's lazy data copy amortizes transfer
+// cost. Batching changes when admission overhead is paid, never what each
+// request computes — per-request arrival stamps and latencies are
+// preserved — so batched and unbatched runs produce identical outputs.
+type Batcher struct {
+	// Size caps requests per batch. <=1 disables coalescing (every request
+	// becomes its own batch).
+	Size int
+	// Deadline is the virtual-time flush window: a batch closes once the
+	// next request's arrival is more than Deadline after the batch head's.
+	// Requests without an arrival stamp (negative Arrival, closed-loop
+	// callers) never coalesce across a stamped boundary.
+	Deadline vclock.Duration
+}
+
+// Split partitions entries, preserving order, into flushable batches. The
+// cut points depend only on the entries' arrival stamps, so splitting is
+// deterministic for a deterministic workload.
+func (b Batcher) Split(entries []core.BatchEntry) [][]core.BatchEntry {
+	if len(entries) == 0 {
+		return nil
+	}
+	if b.Size <= 1 {
+		out := make([][]core.BatchEntry, len(entries))
+		for i := range entries {
+			out[i] = entries[i : i+1]
+		}
+		return out
+	}
+	var out [][]core.BatchEntry
+	start := 0
+	for i := 1; i <= len(entries); i++ {
+		if i < len(entries) && !b.cut(entries[start], entries[i], i-start) {
+			continue
+		}
+		out = append(out, entries[start:i])
+		start = i
+	}
+	return out
+}
+
+// cut reports whether entry next (width entries after head) starts a new
+// batch.
+func (b Batcher) cut(head, next core.BatchEntry, width int) bool {
+	if width >= b.Size {
+		return true
+	}
+	if head.Arrival < 0 || next.Arrival < 0 {
+		// Closed-loop entries carry no arrival stamp; don't guess a window.
+		return true
+	}
+	return next.Arrival-head.Arrival > b.Deadline
+}

@@ -54,6 +54,15 @@ type CostModel struct {
 	// CheckpointPerBytePS is the per-byte cost in picoseconds of writing a
 	// stateful-API checkpoint (restart support, §A.2.4).
 	CheckpointPerBytePS int64
+	// SocketHop is the fixed cost of one cross-socket interconnect round
+	// trip in the simulated NUMA topology — paid once whenever a session's
+	// state moves to a shard homed on a different socket.
+	SocketHop Duration
+	// CrossSocketPerBytePS is the added per-byte cost in picoseconds of
+	// moving checkpoint state across sockets during a migration: remote
+	// memory bandwidth is lower than local, so a cross-socket move pays
+	// this on top of the normal materialization cost.
+	CrossSocketPerBytePS int64
 }
 
 // Default returns the calibrated cost model used by all experiments.
@@ -72,6 +81,8 @@ func Default() CostModel {
 		APIFixed:            1 * time.Microsecond,
 		DeviceReadPerBytePS: 1000, // 1 ns/B
 		CheckpointPerBytePS: 1000, // 1 ns/B
+		SocketHop:           500 * time.Nanosecond,
+		CrossSocketPerBytePS: 800, // 0.8 ns/B of remote-memory penalty
 	}
 }
 
@@ -127,4 +138,14 @@ func (m CostModel) CheckpointCost(n int) Duration {
 		n = 0
 	}
 	return psToDuration(int64(n) * m.CheckpointPerBytePS)
+}
+
+// CrossSocketCost returns the virtual cost of moving n bytes of session
+// state to a shard on another socket: one interconnect hop plus the
+// remote-bandwidth penalty per byte. Same-socket moves pay neither.
+func (m CostModel) CrossSocketCost(n int) Duration {
+	if n < 0 {
+		n = 0
+	}
+	return m.SocketHop + psToDuration(int64(n)*m.CrossSocketPerBytePS)
 }
