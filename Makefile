@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race soak shardsoak autoscalesoak bench serving failover autoscale
+.PHONY: check vet build test race soak shardsoak autoscalesoak overloadsoak bench serving failover autoscale overload
 
-check: vet build race soak shardsoak autoscalesoak
+check: vet build race soak shardsoak autoscalesoak overloadsoak
 
 vet:
 	$(GO) vet ./...
@@ -56,3 +56,17 @@ autoscalesoak:
 # versus the fixed n=max pool, scale/rebalance/batch activity).
 autoscale:
 	$(GO) run ./cmd/experiments -exp autoscale -json BENCH_autoscale.json
+
+# Overload soak under the race detector: a two-tenant load at 4x capacity
+# with shard 1 crash-looping; sheds must stay bounded, the light tenant
+# must keep getting service, and results, per-shard event subsequences,
+# and injection logs must replay byte-equal.
+overloadsoak:
+	$(GO) test -race -run TestOverloadSoak -count=1 ./internal/chaos/
+
+# Overload drill: the two-tenant tracking load offered at 1/2/4/10x the
+# pool's calibrated capacity under the bounded admission queue and deadline
+# shedding, admissions ordered FIFO vs weighted fair queueing, written to
+# BENCH_overload.json (goodput, shed split, Jain fairness, p99 vs 1x).
+overload:
+	$(GO) run ./cmd/experiments -exp overload -json BENCH_overload.json

@@ -7,7 +7,7 @@
 //	experiments -exp fig13 -scale 8
 //
 // Experiments: table1..table12, fig4, fig6, fig7, fig13, a14, security,
-// robustness, serving, failover, autoscale.
+// robustness, serving, failover, autoscale, overload.
 package main
 
 import (
@@ -54,6 +54,7 @@ func main() {
 		"serving":    func() (string, error) { return report.TableServing(*requests, *jsonOut) },
 		"failover":   func() (string, error) { return report.TableFailover(*requests, *jsonOut) },
 		"autoscale":  func() (string, error) { return report.TableAutoscale(*jsonOut) },
+		"overload":   func() (string, error) { return report.TableOverload(*jsonOut) },
 	}
 
 	if *exp != "" {

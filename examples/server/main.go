@@ -23,16 +23,24 @@
 // corpse — after the burst leaves. The demo prints the replayable decision
 // log and the tail-latency/shard-seconds summary.
 //
+// Pass -overload <factor> to run the overload-protection act: a two-tenant
+// tracking load offered at factor× the pool's calibrated capacity, served
+// under a bounded admission queue with deadline shedding and weighted fair
+// queueing. The demo prints goodput, the shed work split by error class
+// (core.ErrClass), and the per-tenant served/shed balance.
+//
 //	go run ./examples/server
 //	go run ./examples/server -concurrency 4 -requests 64
 //	go run ./examples/server -concurrency 4 -requests 64 -kill-shard 2@1ms
 //	go run ./examples/server -autoscale -concurrency 8
+//	go run ./examples/server -overload 4 -concurrency 4
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -44,6 +52,7 @@ import (
 	"freepart.dev/freepart/internal/framework/all"
 	"freepart.dev/freepart/internal/framework/simcv"
 	"freepart.dev/freepart/internal/kernel"
+	"freepart.dev/freepart/internal/report"
 	"freepart.dev/freepart/internal/sched"
 	"freepart.dev/freepart/internal/vclock"
 	"freepart.dev/freepart/internal/workload"
@@ -56,12 +65,27 @@ func main() {
 	requests := flag.Int("requests", 32, "requests in the serving-mode stream")
 	killShard := flag.String("kill-shard", "", "failover drill: kill shard <id> at virtual time <d> into the run, e.g. 2@1ms")
 	autoscale := flag.Bool("autoscale", false, "autoscaling drill: serve the tracking load ramp with the control plane scaling 2..concurrency shards")
+	overload := flag.Int("overload", 0, "overload drill: offer the two-tenant tracking load at this multiple of pool capacity (0 = off)")
 	flag.Parse()
+	// Fail bad flags fast, before any demo act runs.
+	if *concurrency < 1 {
+		log.Fatalf("-concurrency %d: the serving pool needs at least 1 shard", *concurrency)
+	}
+	if *requests < 0 {
+		log.Fatalf("-requests %d: the request stream cannot have a negative length", *requests)
+	}
+	if *overload < 0 {
+		log.Fatalf("-overload %d: the load factor is a multiple of capacity; want 0 (off) or a positive factor like 4", *overload)
+	}
 	if *killShard != "" {
-		// Fail a typo fast, before the demo acts run.
 		if _, _, err := parseKillSpec(*killShard, *concurrency); err != nil {
 			log.Fatalf("-kill-shard: %v", err)
 		}
+	}
+	if *overload > 0 {
+		fmt.Printf("=== FreePart overload mode (%d shards, %dx capacity) ===\n", *concurrency, *overload)
+		serveOverload(*concurrency, *overload)
+		return
 	}
 	if *autoscale {
 		max := *concurrency
@@ -246,11 +270,14 @@ func serveStream(shards int, reqs []apps.DetectionRequest, killID int, killAt vc
 	}
 
 	results := srv.Serve(reqs)
+	byClass := map[string]int{}
 	for _, r := range results {
 		if r.Err != nil {
 			fmt.Printf("user %d: request failed (%s)\n", r.User, short(r.Err))
+			byClass[core.ErrClass(r.Err)]++
 		}
 	}
+	printClassSummary(byClass)
 	lat := ex.Latencies()
 	crit := ex.CriticalPath()
 	fmt.Printf("served %d/%d requests across %d shards\n", apps.Served(results), len(reqs), ex.Shards())
@@ -307,6 +334,91 @@ func serveAutoscale(max int) {
 	for _, ev := range ctl.Events() {
 		fmt.Printf("  %s\n", ev)
 	}
+}
+
+// serveOverload runs the overload-protection act: a two-tenant tracking
+// load (4:1 stream skew at equal weight) offered at factor× the pool's
+// calibrated capacity, served under a bounded admission queue with deadline
+// shedding and weighted-fair-queueing admission order. Overload becomes
+// explicit typed rejections instead of unbounded queue wait, and WFQ makes
+// the heavy tenant's excess — not the light tenant's trickle — absorb them.
+func serveOverload(shards, factor int) {
+	initCost, stepCost, err := report.CalibrateTracking()
+	if err != nil {
+		log.Fatal(err)
+	}
+	reg := all.Registry()
+	cat := analysis.New(reg, nil).Categorize()
+	ex, err := core.NewExecutor(shards, core.ProtectedShards(reg, cat, core.Default()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ex.Close()
+	srv := apps.ProvisionTracking(ex)
+	// Measure the serving window, not the (identical per shard) boot cost.
+	for i := 0; i < ex.Shards(); i++ {
+		ex.Shard(i).K.Clock.Reset()
+	}
+
+	const steps = 64
+	heavy, light := 4*shards, shards
+	perShard := (heavy + light) / shards
+	pol := core.AdmissionPolicy{QueueLimit: 3, Deadline: 2 * stepCost}
+	ex.SetAdmission(pol)
+	// gap = perShard·stepCost/factor offers exactly factor× pool capacity;
+	// warm lets every shard finish its session inits before measuring.
+	gap := stepCost * vclock.Duration(perShard) / vclock.Duration(factor)
+	warm := initCost * vclock.Duration(perShard+1)
+	streams := apps.GenTenantStreams(17, heavy, light, steps, gap, warm)
+	results := srv.ServeRampOpts(streams, apps.RampOptions{
+		TolerateShed: true,
+		Orderer:      &sched.WFQ{Quantum: 5 * stepCost / 4},
+	})
+
+	admitted, dropped := 0, 0
+	for _, r := range results {
+		admitted += r.Steps
+		dropped += r.Dropped
+		if r.Err != nil {
+			fmt.Printf("stream %d: failed (%s)\n", r.User, short(r.Err))
+		}
+	}
+	m := ex.Metrics().Snapshot()
+	lat := ex.Latencies()
+	fmt.Printf("offered %d steps at %dx capacity (queue limit %d, deadline %v)\n",
+		(heavy+light)*steps, factor, pol.QueueLimit, pol.Deadline)
+	fmt.Printf("admitted %d, shed %d\n", admitted, dropped)
+	printClassSummary(map[string]int{
+		core.ErrClass(core.ErrOverloaded):       int(m.Rejected),
+		core.ErrClass(core.ErrDeadlineExceeded): int(m.DeadlineShed),
+	})
+	for _, t := range ex.TenantLoads() {
+		fmt.Printf("tenant %d (weight %d): served %d, rejected %d, deadline-shed %d\n",
+			t.Tenant, t.Weight, t.Served, t.Rejected, t.Shed)
+	}
+	fmt.Printf("admitted-request latency: p50=%v p99=%v (bounded by queue limit x service time at any factor)\n",
+		lat.P50(), lat.P99())
+}
+
+// printClassSummary prints a per-class failure tally ("failures by class:
+// deadline=12 overloaded=30"), classes sorted for stable output. Classes
+// with a zero count and empty tallies print nothing.
+func printClassSummary(byClass map[string]int) {
+	classes := make([]string, 0, len(byClass))
+	for c := range byClass {
+		if byClass[c] > 0 {
+			classes = append(classes, c)
+		}
+	}
+	if len(classes) == 0 {
+		return
+	}
+	sort.Strings(classes)
+	fmt.Printf("failures by class:")
+	for _, c := range classes {
+		fmt.Printf(" %s=%d", c, byClass[c])
+	}
+	fmt.Println()
 }
 
 func short(err error) string {

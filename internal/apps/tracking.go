@@ -1,6 +1,7 @@
 package apps
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -35,6 +36,12 @@ type TrackStream struct {
 	// Offset is the wave the stream joins the ramp harness at (ServeRamp);
 	// zero means present from the start. ServeStreams ignores it.
 	Offset int
+	// Tenant and Weight carry the stream's multi-tenant identity into its
+	// session (core.Executor.SessionFor). Both zero — the legacy value —
+	// opens the single-tenant default session, keeping pre-overload runs
+	// bit-identical.
+	Tenant int
+	Weight int
 }
 
 // trackStepGap spaces measurement arrivals within one stream.
@@ -107,12 +114,47 @@ func GenRampStreams(seed int64, base, burst, steps int) []TrackStream {
 	return out
 }
 
+// GenTenantStreams builds the overload drill's two-tenant load shape:
+// heavy streams belong to tenant 1 and light streams to tenant 2, both
+// weight 1 (equal fair-share entitlement — the skew is in offered load,
+// not in weights). Streams interleave in open order so placement spreads
+// both tenants across shards, every stream is present from wave 0, and
+// arrivals are spaced gap apart with a per-stream stagger inside the gap
+// so no two invocations share an arrival stamp, all offset by warm — the
+// caller's allowance for session-init service, so a 1× run starts level
+// with the shard clocks instead of already backlogged. Deterministic in
+// every argument.
+func GenTenantStreams(seed int64, heavy, light, steps int, gap, warm vclock.Duration) []TrackStream {
+	total := heavy + light
+	out := make([]TrackStream, 0, total)
+	for u := 0; u < total; u++ {
+		st := genTrackStream(seed, u, steps, 0)
+		// Even interleave: exactly `light` streams, spread across the open
+		// order, go to the light tenant.
+		if total > 0 && (u*light)/total != ((u+1)*light)/total {
+			st.Tenant, st.Weight = 2, 1
+		} else {
+			st.Tenant, st.Weight = 1, 1
+		}
+		stagger := gap * vclock.Duration(u) / vclock.Duration(total)
+		for i := range st.Arrivals {
+			st.Arrivals[i] = warm + gap*vclock.Duration(i+1) + stagger
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
 // TrackResult is the final filtered position of one stream.
 type TrackResult struct {
 	// User echoes the client.
 	User int
 	// Steps counts measurements successfully folded in.
 	Steps int
+	// Dropped counts measurements shed by overload control (rejected at
+	// the admission bound, or expired past deadline) on runs that tolerate
+	// shedding — the filter state never saw these points.
+	Dropped int
 	// X, Y is the filter's final position estimate — a function of the
 	// whole stream, so identical results across a failover prove the
 	// migrated state was exact.
@@ -191,6 +233,40 @@ type AdmissionBatcher interface {
 	Split([]core.BatchEntry) [][]core.BatchEntry
 }
 
+// AdmissionOrderer reorders one shard slot's wave queue before admission —
+// the dequeue-policy hook. Order returns a permutation of entry indices;
+// sched.WFQ implements it with per-tenant virtual finish times. The slot
+// id keys any per-slot state: each slot's queue drains on its own
+// goroutine, so an orderer keyed by slot stays deterministic.
+type AdmissionOrderer interface {
+	Order(slot int, entries []core.BatchEntry) []int
+}
+
+// AdmissionObserver is the optional feedback half of an orderer: after a
+// wave's queue is admitted, serveWave reports each entry's outcome (in
+// served order) so service-charged policies — sched.WFQ advances a
+// tenant's virtual finish clock only for requests actually served — can
+// account capacity correctly. Shed entries consumed none.
+type AdmissionObserver interface {
+	Observe(slot int, entries []core.BatchEntry, errs []error)
+}
+
+// RampOptions configures ServeRampOpts. The zero value reproduces
+// ServeRamp(streams, nil, nil) exactly.
+type RampOptions struct {
+	// Ticker runs at every wave barrier (the control plane).
+	Ticker Ticker
+	// Batcher coalesces each slot's wave queue into admission batches.
+	Batcher AdmissionBatcher
+	// Orderer permutes each slot's wave queue before admission (WFQ).
+	Orderer AdmissionOrderer
+	// TolerateShed keeps a stream alive through overload sheds: a step
+	// rejected with core.ErrOverloaded or dropped with
+	// core.ErrDeadlineExceeded counts in TrackResult.Dropped and the
+	// stream carries on, instead of the error aborting the stream.
+	TolerateShed bool
+}
+
 // ServeRamp runs streams wave by wave: wave w serves step w−Offset of
 // every stream active at w, with a full barrier between waves. Sessions
 // open lazily at their stream's join wave (in stream order, so placement
@@ -205,6 +281,13 @@ type AdmissionBatcher interface {
 // clock mid-wave — which is what keeps the controller's barrier reads, and
 // its event log, byte-reproducible.
 func (srv *TrackingServer) ServeRamp(streams []TrackStream, ctl Ticker, batcher AdmissionBatcher) []TrackResult {
+	return srv.ServeRampOpts(streams, RampOptions{Ticker: ctl, Batcher: batcher})
+}
+
+// ServeRampOpts is ServeRamp with the full option set: admission ordering
+// (WFQ) and shed tolerance for overload runs. Zero options reproduce the
+// plain ramp bit for bit.
+func (srv *TrackingServer) ServeRampOpts(streams []TrackStream, opt RampOptions) []TrackResult {
 	results := make([]TrackResult, len(streams))
 	sessions := make([]*core.Session, len(streams))
 	waves := 0
@@ -219,7 +302,7 @@ func (srv *TrackingServer) ServeRamp(streams []TrackStream, ctl Ticker, batcher 
 			if streams[i].Offset != w || sessions[i] != nil {
 				continue
 			}
-			sessions[i] = srv.Ex.Session()
+			sessions[i] = srv.openSession(streams[i])
 			results[i] = TrackResult{User: streams[i].User}
 			if results[i].Err = srv.initSession(sessions[i], streams[i]); results[i].Err != nil {
 				sessions[i].Finish()
@@ -243,10 +326,10 @@ func (srv *TrackingServer) ServeRamp(streams []TrackStream, ctl Ticker, batcher 
 		for _, id := range order {
 			queue := byShard[id]
 			wg.Add(1)
-			go func(queue []int) {
+			go func(id int, queue []int) {
 				defer wg.Done()
-				srv.serveWave(streams, sessions, results, queue, w, batcher)
-			}(queue)
+				srv.serveWave(streams, sessions, results, queue, w, id, opt)
+			}(id, queue)
 		}
 		wg.Wait()
 		// Release sessions whose stream just finished or errored out, so
@@ -259,20 +342,22 @@ func (srv *TrackingServer) ServeRamp(streams []TrackStream, ctl Ticker, batcher 
 				sessions[i].Finish()
 			}
 		}
-		if ctl != nil {
-			ctl.Tick()
+		if opt.Ticker != nil {
+			opt.Ticker.Tick()
 		}
 	}
 	return results
 }
 
-// serveWave drains one shard slot's queue for one wave, optionally
-// coalescing admissions. Split returns consecutive subslices, so batch
-// errors map back to queue positions with a running cursor.
-func (srv *TrackingServer) serveWave(streams []TrackStream, sessions []*core.Session, results []TrackResult, queue []int, w int, batcher AdmissionBatcher) {
-	if batcher == nil {
+// serveWave drains one shard slot's queue for one wave: order (WFQ), then
+// coalesce (batcher), then admit. Split returns consecutive subslices, so
+// batch errors map back to queue positions with a running cursor — the
+// orderer permutes queue and entries together before the cursor starts, so
+// the contract holds under reordering too.
+func (srv *TrackingServer) serveWave(streams []TrackStream, sessions []*core.Session, results []TrackResult, queue []int, w, slot int, opt RampOptions) {
+	if opt.Batcher == nil && opt.Orderer == nil {
 		for _, i := range queue {
-			results[i].Err = srv.serveStep(sessions[i], streams[i], w-streams[i].Offset, &results[i])
+			noteStep(&results[i], srv.serveStep(sessions[i], streams[i], w-streams[i].Offset, &results[i]), opt)
 		}
 		return
 	}
@@ -285,14 +370,61 @@ func (srv *TrackingServer) serveWave(streams []TrackStream, sessions []*core.Ses
 			Job:     srv.stepJob(sessions[i], streams[i], step, &results[i]),
 		}
 	}
-	pos := 0
-	for _, batch := range batcher.Split(entries) {
-		errs := srv.Ex.DoBatch(batch)
-		for k := range batch {
-			results[queue[pos+k]].Err = errs[k]
+	if opt.Orderer != nil {
+		perm := opt.Orderer.Order(slot, entries)
+		reEntries := make([]core.BatchEntry, len(entries))
+		reQueue := make([]int, len(queue))
+		for k, p := range perm {
+			reEntries[k], reQueue[k] = entries[p], queue[p]
 		}
-		pos += len(batch)
+		entries, queue = reEntries, reQueue
 	}
+	errs := make([]error, len(entries))
+	if opt.Batcher == nil {
+		for k, i := range queue {
+			errs[k] = sessions[i].DoAt(entries[k].Arrival, entries[k].Job)
+			noteStep(&results[i], errs[k], opt)
+		}
+	} else {
+		pos := 0
+		for _, batch := range opt.Batcher.Split(entries) {
+			for k, err := range srv.Ex.DoBatch(batch) {
+				errs[pos+k] = err
+				noteStep(&results[queue[pos+k]], err, opt)
+			}
+			pos += len(batch)
+		}
+	}
+	if obs, ok := opt.Orderer.(AdmissionObserver); ok {
+		obs.Observe(slot, entries, errs)
+	}
+}
+
+// noteStep folds one step's outcome into the stream's result. Shed steps —
+// the admission layer's deliberate refusals — count as drops when the run
+// tolerates shedding; everything else (including nil) lands in Err exactly
+// as before.
+func noteStep(res *TrackResult, err error, opt RampOptions) {
+	if err != nil && opt.TolerateShed &&
+		(errors.Is(err, core.ErrOverloaded) || errors.Is(err, core.ErrDeadlineExceeded)) {
+		res.Dropped++
+		return
+	}
+	res.Err = err
+}
+
+// openSession opens a stream's session under its tenant identity. The zero
+// identity — every stream generator before multi-tenancy — takes the
+// legacy single-tenant path.
+func (srv *TrackingServer) openSession(st TrackStream) *core.Session {
+	if st.Tenant != 0 || st.Weight != 0 {
+		w := st.Weight
+		if w < 1 {
+			w = 1
+		}
+		return srv.Ex.SessionFor(st.Tenant, w)
+	}
+	return srv.Ex.Session()
 }
 
 // initSession creates the session's state tensor and seeds it with the

@@ -49,6 +49,10 @@ type Shard struct {
 
 	mu   sync.Mutex
 	jobs uint64
+	// ends is the completion-stamp ring behind the virtual queue-depth
+	// signal (see queuedAt); only populated while an admission policy is
+	// active, so the unbounded path never pays for it.
+	ends []vclock.Duration
 
 	// Health state, guarded by hm (not mu: observers must not block behind a
 	// running job).
@@ -308,17 +312,21 @@ type Executor struct {
 	killAt    map[int]vclock.Duration
 	events    []FailoverEvent
 	policy    HealthPolicy
+	admit     AdmissionPolicy
 	onReplace func(*Shard) error
 	place     func(session int, pool []PlacementInfo) int
 	loads     map[int]*shardLoad
+	tenants   map[int]*tenantLoad
 }
 
 // shardLoad accumulates per-pool-slot (shard id, across incarnations)
 // admission signals, guarded by the executor's mu.
 type shardLoad struct {
-	waitSum vclock.Duration
-	waits   uint64
-	jobs    uint64
+	waitSum  vclock.Duration
+	waits    uint64
+	jobs     uint64
+	rejected uint64
+	shed     uint64
 }
 
 // PlacementInfo describes one live shard to a placement hook: enough for a
@@ -328,6 +336,10 @@ type PlacementInfo struct {
 	ID int
 	// Sessions is how many unfinished sessions are pinned to the shard.
 	Sessions int
+	// TenantSessions is how many of those belong to the tenant the
+	// placement decision is being made for (the opening or migrating
+	// session's tenant); 0 when the decision has no tenant context.
+	TenantSessions int
 	// Clock is the shard's current virtual time.
 	Clock vclock.Duration
 }
@@ -352,6 +364,12 @@ type ShardLoad struct {
 	Waits   uint64
 	// Jobs counts completed invocations on the slot.
 	Jobs uint64
+	// Rejected and Shed count the slot's overload decisions: queue-bound
+	// rejections (virtual 503s) and deadline drops. The control plane
+	// treats a nonzero window delta as a first-class grow signal — shed
+	// work is demand the pool had no capacity for.
+	Rejected uint64
+	Shed     uint64
 }
 
 // NewExecutor builds an executor over n shards produced by factory. The
@@ -370,6 +388,7 @@ func NewExecutor(n int, factory ShardFactory) (*Executor, error) {
 		met:     metrics.New(),
 		killAt:  make(map[int]vclock.Duration),
 		loads:   make(map[int]*shardLoad),
+		tenants: make(map[int]*tenantLoad),
 	}
 	for i := 0; i < n; i++ {
 		sh, err := factory(i)
@@ -610,19 +629,25 @@ func (e *Executor) SetPlacement(fn func(session int, pool []PlacementInfo) int) 
 	e.place = fn
 }
 
-// placementPoolLocked snapshots the live pool for a placement decision.
+// placementPoolLocked snapshots the live pool for a placement decision made
+// on behalf of a tenant (-1 for no tenant context: TenantSessions reads 0).
 // Caller holds e.mu.
-func (e *Executor) placementPoolLocked() []PlacementInfo {
+func (e *Executor) placementPoolLocked(tenant int) []PlacementInfo {
 	pinned := make(map[int]int)
+	tpinned := make(map[int]int)
 	for _, s := range e.sessions {
 		if s.Done() {
 			continue
 		}
-		pinned[s.Shard().ID]++
+		id := s.Shard().ID
+		pinned[id]++
+		if tenant >= 0 && s.Tenant == tenant {
+			tpinned[id]++
+		}
 	}
 	pool := make([]PlacementInfo, len(e.shards))
 	for i, sh := range e.shards {
-		pool[i] = PlacementInfo{ID: sh.ID, Sessions: pinned[sh.ID], Clock: sh.K.Clock.Now()}
+		pool[i] = PlacementInfo{ID: sh.ID, Sessions: pinned[sh.ID], TenantSessions: tpinned[sh.ID], Clock: sh.K.Clock.Now()}
 	}
 	return pool
 }
@@ -630,20 +655,34 @@ func (e *Executor) placementPoolLocked() []PlacementInfo {
 // Session opens a session pinned to a shard chosen by the placement hook —
 // round-robin by open order when none is installed. Assignment order is the
 // order Session is called in, so sequential opens are deterministic.
-func (e *Executor) Session() *Session {
+// Sessions opened this way belong to tenant 0 with weight 1 — the
+// single-tenant default every pre-overload experiment ran under.
+func (e *Executor) Session() *Session { return e.SessionFor(0, 1) }
+
+// SessionFor opens a session on behalf of a tenant with a fair-queueing
+// weight. The tenant id tags every admission signal (waits, served, shed)
+// and the weight drives WFQ admission ordering; placement sees the tenant's
+// current spread across shards through PlacementInfo.TenantSessions.
+// Weights below 1 are lifted to 1.
+func (e *Executor) SessionFor(tenant, weight int) *Session {
+	if weight < 1 {
+		weight = 1
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	id := len(e.sessions) % len(e.shards)
 	if e.place != nil {
-		if p := e.place(len(e.sessions), e.placementPoolLocked()); p >= 0 && p < len(e.shards) {
+		if p := e.place(len(e.sessions), e.placementPoolLocked(tenant)); p >= 0 && p < len(e.shards) {
 			id = p
 		}
 	}
 	s := &Session{
-		ID:    len(e.sessions),
-		ex:    e,
-		shard: e.shards[id],
-		bound: make(map[string]Handle),
+		ID:     len(e.sessions),
+		Tenant: tenant,
+		Weight: weight,
+		ex:     e,
+		shard:  e.shards[id],
+		bound:  make(map[string]Handle),
 	}
 	e.sessions = append(e.sessions, s)
 	return s
@@ -848,7 +887,7 @@ func (e *Executor) Shrink(plan func(session int, pool []PlacementInfo) Migration
 			continue
 		}
 		e.mu.Lock()
-		pool := e.placementPoolLocked()
+		pool := e.placementPoolLocked(s.Tenant)
 		e.mu.Unlock()
 		p := leastPinnedPlan(s.ID, pool)
 		if plan != nil {
@@ -929,9 +968,10 @@ func (e *Executor) MigrateSession(session, dest int, extra vclock.Duration) erro
 	return nil
 }
 
-// noteWait folds one admission wait into the per-slot load signal. Called
+// noteWait folds one admitted invocation's wait into the per-slot and
+// per-tenant load signals (served counts only clean completions). Called
 // with the subject shard's mu held (shard mu orders before executor mu).
-func (e *Executor) noteWait(id int, wait vclock.Duration) {
+func (e *Executor) noteWait(id int, s *Session, wait vclock.Duration, failed bool) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	l := e.loads[id]
@@ -942,6 +982,13 @@ func (e *Executor) noteWait(id int, wait vclock.Duration) {
 	l.waitSum += wait
 	l.waits++
 	l.jobs++
+	t := e.tenantLoadLocked(s.Tenant, s.Weight)
+	t.waitSum += wait
+	t.waits++
+	if !failed {
+		t.served++
+		e.met.AddTenantServed(s.Tenant)
+	}
 }
 
 // ShardLoads snapshots the control-plane signal: one entry per live pool
@@ -967,6 +1014,7 @@ func (e *Executor) ShardLoads() []ShardLoad {
 		}
 		if l := e.loads[sh.ID]; l != nil {
 			out[i].WaitSum, out[i].Waits, out[i].Jobs = l.waitSum, l.waits, l.jobs
+			out[i].Rejected, out[i].Shed = l.rejected, l.shed
 		}
 	}
 	return out
@@ -1019,7 +1067,12 @@ func (e *Executor) ShardSeconds(end vclock.Duration) vclock.Duration {
 type Session struct {
 	// ID is the session's global open order.
 	ID int
-	ex *Executor
+	// Tenant identifies whose traffic this session carries; Weight is the
+	// tenant's weighted-fair-queueing weight. Both are fixed at open
+	// (Session() opens tenant 0 / weight 1, the single-tenant default).
+	Tenant int
+	Weight int
+	ex     *Executor
 
 	mu    sync.Mutex
 	shard *Shard
@@ -1157,6 +1210,10 @@ func (s *Session) DoAt(arrival vclock.Duration, job func(sh *Shard) error) error
 	s.ex.sem.acquire()
 	defer s.ex.sem.release()
 
+	// A negative arrival is a closed-loop request: its stamp resolves at
+	// first admission and carries no client-side deadline, even across
+	// failover retries.
+	stamped := arrival >= 0
 	for {
 		sh := s.currentShard()
 		sh.mu.Lock()
@@ -1165,7 +1222,7 @@ func (s *Session) DoAt(arrival vclock.Duration, job func(sh *Shard) error) error
 			sh.mu.Unlock()
 			continue
 		}
-		done, err := s.runLocked(sh, &arrival, job)
+		done, err := s.runLocked(sh, &arrival, job, stamped)
 		failed := sh.Failed()
 		sh.mu.Unlock()
 		if done {
@@ -1187,8 +1244,10 @@ func (s *Session) DoAt(arrival vclock.Duration, job func(sh *Shard) error) error
 // a worker-pool slot. It returns done=false when the invocation must be
 // re-run after a failover — the shard was already failed at admission, or
 // it died under this invocation. *arrival resolves to "now" on first
-// admission when negative and is kept across retries.
-func (s *Session) runLocked(sh *Shard, arrival *vclock.Duration, job func(sh *Shard) error) (bool, error) {
+// admission when negative and is kept across retries; stamped records
+// whether the request carried a client arrival (closed-loop requests are
+// exempt from deadline shedding).
+func (s *Session) runLocked(sh *Shard, arrival *vclock.Duration, job func(sh *Shard) error, stamped bool) (bool, error) {
 	e := s.ex
 	e.applyScheduledKill(sh)
 	pol := e.healthPolicy()
@@ -1202,6 +1261,16 @@ func (s *Session) runLocked(sh *Shard, arrival *vclock.Duration, job func(sh *Sh
 	now := sh.K.Clock.Now()
 	if *arrival < 0 {
 		*arrival = now
+	}
+	apol := e.admission()
+	if apol.active() {
+		// Overload control: reject at the queue bound, drop past the
+		// deadline. A shed request runs nothing — clock, checkpoints, and
+		// chaos draws are untouched, so shedding never perturbs the
+		// replayable logs of the work that was admitted.
+		if shed, serr := e.shedLocked(sh, s, *arrival, now, apol, stamped); shed {
+			return true, serr
+		}
 	}
 	wait := vclock.Duration(0)
 	if *arrival > now {
@@ -1228,9 +1297,12 @@ func (s *Session) runLocked(sh *Shard, arrival *vclock.Duration, job func(sh *Sh
 	if crashed && sh.Failed() {
 		return false, nil
 	}
+	if apol.active() {
+		sh.noteEnd(end)
+	}
 	e.lat.Add(end - *arrival)
 	e.queue.Add(wait)
-	e.noteWait(sh.ID, wait)
+	e.noteWait(sh.ID, s, wait, err != nil)
 	return true, err
 }
 
@@ -1263,6 +1335,12 @@ func (e *Executor) DoBatch(entries []BatchEntry) []error {
 	defer e.sem.release()
 	e.met.AddBatchedAdmission(len(entries))
 
+	// Stampedness must be read before admission resolves closed-loop
+	// arrivals in place.
+	stamped := make([]bool, len(entries))
+	for i := range entries {
+		stamped[i] = entries[i].Arrival >= 0
+	}
 	next := 0
 	for next < len(entries) {
 		s := entries[next].Session
@@ -1279,7 +1357,7 @@ func (e *Executor) DoBatch(entries []BatchEntry) []error {
 			if en.Session.currentShard() != sh {
 				break
 			}
-			done, err := en.Session.runLocked(sh, &en.Arrival, en.Job)
+			done, err := en.Session.runLocked(sh, &en.Arrival, en.Job, stamped[next])
 			if !done {
 				break
 			}

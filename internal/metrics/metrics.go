@@ -39,6 +39,18 @@ type Counters struct {
 	rebalances        uint64
 	batchedAdmissions uint64
 	batchedRequests   uint64
+
+	rejected     uint64
+	deadlineShed uint64
+	tenants      map[int]TenantCounts
+}
+
+// TenantCounts is one tenant's share of the serving outcome: invocations
+// completed cleanly versus shed by overload control (queue-bound rejections
+// plus deadline drops).
+type TenantCounts struct {
+	Served uint64
+	Shed   uint64
 }
 
 // Snapshot is an immutable copy of the counters.
@@ -89,6 +101,17 @@ type Snapshot struct {
 	// of worker-pool acquisitions the batching layer amortized away.
 	BatchedAdmissions uint64
 	BatchedRequests   uint64
+
+	// Rejected counts arrivals refused at the admission-queue bound (the
+	// virtual 503s); DeadlineShed counts requests dropped at dequeue after
+	// outliving their admission deadline. Shed work runs nothing — no
+	// checkpoint writes, no chaos draws, no clock advance.
+	Rejected     uint64
+	DeadlineShed uint64
+	// Tenants breaks served/shed down per tenant id. Executors bump these
+	// inside the same critical section as the event log appends, so an
+	// EventsAndMetrics pair is always mutually consistent.
+	Tenants map[int]TenantCounts
 }
 
 // New creates zeroed counters.
@@ -243,10 +266,55 @@ func (c *Counters) AddBatchedAdmission(n int) {
 	}
 }
 
+// tenantLocked returns tenant t's cell, allocating the map lazily so
+// single-tenant runs never carry it. Caller holds c.mu.
+func (c *Counters) tenantLocked(t int) TenantCounts {
+	if c.tenants == nil {
+		c.tenants = make(map[int]TenantCounts)
+	}
+	return c.tenants[t]
+}
+
+// AddRejected records one queue-bound rejection (virtual 503) for tenant t.
+func (c *Counters) AddRejected(t int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.rejected++
+	tc := c.tenantLocked(t)
+	tc.Shed++
+	c.tenants[t] = tc
+}
+
+// AddDeadlineShed records one deadline drop for tenant t.
+func (c *Counters) AddDeadlineShed(t int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.deadlineShed++
+	tc := c.tenantLocked(t)
+	tc.Shed++
+	c.tenants[t] = tc
+}
+
+// AddTenantServed records one cleanly completed invocation for tenant t.
+func (c *Counters) AddTenantServed(t int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	tc := c.tenantLocked(t)
+	tc.Served++
+	c.tenants[t] = tc
+}
+
 // Snapshot returns a copy of the counters.
 func (c *Counters) Snapshot() Snapshot {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	var tenants map[int]TenantCounts
+	if len(c.tenants) > 0 {
+		tenants = make(map[int]TenantCounts, len(c.tenants))
+		for t, tc := range c.tenants {
+			tenants[t] = tc
+		}
+	}
 	return Snapshot{
 		IPCCalls: c.ipcCalls, BytesMoved: c.bytesMoved,
 		LazyCopies: c.lazyCopies, EagerCopies: c.eagerCopies,
@@ -260,6 +328,8 @@ func (c *Counters) Snapshot() Snapshot {
 		ScaleUps:   c.scaleUps, ScaleDowns: c.scaleDowns,
 		Rebalances: c.rebalances, BatchedAdmissions: c.batchedAdmissions,
 		BatchedRequests: c.batchedRequests,
+		Rejected:   c.rejected, DeadlineShed: c.deadlineShed,
+		Tenants: tenants,
 	}
 }
 
