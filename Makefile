@@ -1,11 +1,15 @@
 # Standard checks for the FreePart reproduction. `make check` is the gate:
-# vet, build, race-enabled tests, and a fixed-seed chaos soak.
+# formatting, vet, build, race-enabled tests, and fixed-seed chaos soaks.
 
 GO ?= go
 
-.PHONY: check vet build test race soak shardsoak autoscalesoak overloadsoak bench serving failover autoscale overload
+.PHONY: check fmt vet build test race soak shardsoak autoscalesoak overloadsoak isolationsoak bench serving failover autoscale overload isolation
 
-check: vet build race soak shardsoak autoscalesoak overloadsoak
+check: fmt vet build race soak shardsoak autoscalesoak overloadsoak isolationsoak
+
+# gofmt cleanliness gate: fails listing any file that gofmt would rewrite.
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -70,3 +74,16 @@ overloadsoak:
 # BENCH_overload.json (goodput, shed split, Jain fairness, p99 vs 1x).
 overload:
 	$(GO) run ./cmd/experiments -exp overload -json BENCH_overload.json
+
+# Isolation soak under the race detector: the multi-shard crash-loop soak
+# run under the tiered policy (process-tier loading/processing, MPK-domain
+# visualizing/storing); outputs must match the fault-free tiered baseline
+# and injection logs must replay byte-equal.
+isolationsoak:
+	$(GO) test -race -run TestIsolationChaosSoak -count=1 ./internal/chaos/
+
+# Isolation frontier: the 18-CVE corpus replayed under every tier policy
+# (paper / tiered / erim / none) plus the serving overhead of each, written
+# to BENCH_isolation.json (blocked matrix, critical path, domain switches).
+isolation:
+	$(GO) run ./cmd/experiments -exp isolation -json BENCH_isolation.json

@@ -7,7 +7,7 @@
 //	experiments -exp fig13 -scale 8
 //
 // Experiments: table1..table12, fig4, fig6, fig7, fig13, a14, security,
-// robustness, serving, failover, autoscale, overload.
+// robustness, serving, failover, autoscale, overload, isolation.
 package main
 
 import (
@@ -55,6 +55,7 @@ func main() {
 		"failover":   func() (string, error) { return report.TableFailover(*requests, *jsonOut) },
 		"autoscale":  func() (string, error) { return report.TableAutoscale(*jsonOut) },
 		"overload":   func() (string, error) { return report.TableOverload(*jsonOut) },
+		"isolation":  func() (string, error) { return report.TableIsolation(*jsonOut) },
 	}
 
 	if *exp != "" {

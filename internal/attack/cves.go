@@ -2,8 +2,10 @@ package attack
 
 import (
 	"sort"
+	"sync"
 
 	"freepart.dev/freepart/internal/framework"
+	"freepart.dev/freepart/internal/isolation"
 )
 
 // VulnClass is a vulnerability category (Fig. 7's legend).
@@ -75,14 +77,47 @@ func EvalCVEs() []CVE {
 	}
 }
 
+// evalIndex memoizes the id → CVE map: EvalCVEByID runs inside replay
+// loops (18 CVEs × policies × samples), so rebuilding and rescanning the
+// slice per lookup is pure waste.
+var evalIndex struct {
+	once sync.Once
+	byID map[string]CVE
+}
+
 // EvalCVEByID looks up an evaluation CVE.
 func EvalCVEByID(id string) (CVE, bool) {
-	for _, c := range EvalCVEs() {
-		if c.ID == id {
-			return c, true
+	evalIndex.once.Do(func() {
+		evalIndex.byID = make(map[string]CVE)
+		for _, c := range EvalCVEs() {
+			evalIndex.byID[c.ID] = c
 		}
+	})
+	c, ok := evalIndex.byID[id]
+	return c, ok
+}
+
+// BlockedBy reports whether an isolation tier contains this vulnerability
+// class — the per-tier blocked semantics behind the frontier matrix.
+//
+//   - TierProcess (paper): a separate address space stops wild reads and
+//     writes, seccomp stops code-rewrite mprotect and fork bombs, and the
+//     supervisor restarts a crashed agent — every class is contained.
+//   - TierDomain (ERIM-style MPK): the PKRU narrows on entry, so
+//     cross-domain memory reads and writes fault deterministically. But
+//     the domain shares the host's process: a crash is the host's crash
+//     (DoS unblocked), and with no per-domain seccomp an mprotect-based
+//     code rewrite or fork bomb proceeds (RCE/file-read unblocked).
+//   - TierHost: nothing is blocked.
+func (c VulnClass) BlockedBy(t isolation.Tier) bool {
+	switch t {
+	case isolation.TierProcess:
+		return true
+	case isolation.TierDomain:
+		return c == ClassMemWrite || c == ClassMemRead
+	default:
+		return false
 	}
-	return CVE{}, false
 }
 
 // studyProfile describes one framework's CVE distribution in the §4.1

@@ -9,18 +9,30 @@ import (
 	"freepart.dev/freepart/internal/analysis"
 	"freepart.dev/freepart/internal/framework"
 	"freepart.dev/freepart/internal/ipc"
+	"freepart.dev/freepart/internal/isolation"
 	"freepart.dev/freepart/internal/kernel"
+	"freepart.dev/freepart/internal/mem"
 	"freepart.dev/freepart/internal/object"
 	"freepart.dev/freepart/internal/vclock"
 )
 
 // agent is one isolated partition: a process, its object table, an RPC
-// connection, the derived syscall policy, and restart bookkeeping.
+// connection, the derived syscall policy, and restart bookkeeping. The
+// boundary decides which of those a given partition actually has: only
+// process-tier agents carry a conn and a syscall policy; only domain-tier
+// agents carry a protection key.
 type agent struct {
 	id     int
 	name   string
 	types  map[framework.APIType]bool // API types homed here
 	policy *analysis.AgentPolicy      // nil when syscall restriction is off
+
+	// boundary is the isolation mechanism hosting this partition, fixed at
+	// spawn (the policy is immutable for a runtime's lifetime).
+	boundary Boundary
+	// key is the protection key tagging this partition's state; nonzero
+	// only for domain-tier agents.
+	key mem.Key
 
 	mu    sync.Mutex
 	proc  *kernel.Process
@@ -356,6 +368,12 @@ func (rt *Runtime) checkpointObjects(a *agent, ctx *framework.Ctx, api *framewor
 // syscall policy, re-run one-time initialization, and checkpoint
 // restoration with id remapping so host-held refs stay valid.
 func (rt *Runtime) restartAgent(a *agent) error {
+	// Restart replaces the process's address space — catastrophic for a
+	// domain- or host-tier partition, which *shares* the host's space.
+	// Those tiers have no restart story: the partition dies with the host.
+	if a.boundary != nil && a.boundary.Tier() != isolation.TierProcess {
+		return fmt.Errorf("core: cannot restart %s: %s-tier partitions share the host's fate", a.name, a.boundary.Tier())
+	}
 	a.mu.Lock()
 	proc := a.proc
 	a.mu.Unlock()

@@ -9,6 +9,7 @@ import (
 
 	"freepart.dev/freepart/internal/chaos"
 	"freepart.dev/freepart/internal/framework"
+	"freepart.dev/freepart/internal/isolation"
 	"freepart.dev/freepart/internal/kernel"
 	"freepart.dev/freepart/internal/object"
 	"freepart.dev/freepart/internal/vclock"
@@ -73,6 +74,12 @@ type Config struct {
 	// clock time, so a peer that dies without answering fails the call
 	// instead of hanging. 0 disables the deadline.
 	CallDeadline time.Duration
+
+	// Isolation picks the boundary tier per API type (see
+	// internal/isolation). Nil — and the equivalent isolation.Paper()
+	// preset — runs every partition as a kernel process behind per-call
+	// IPC, byte-identical to the pre-policy path.
+	Isolation *isolation.Policy
 }
 
 // Default returns the paper's standard configuration: four type-based
@@ -88,6 +95,23 @@ func Default() Config {
 		FilterAction:       kernel.ActionKill,
 		CallDeadline:       2 * time.Second,
 	}
+}
+
+// ConfigForIsolation returns the replay/serving configuration for one
+// isolation policy. The "none" preset (every type in-host) disables every
+// FreePart mechanism — it is the unprotected baseline the overhead column
+// is measured against, so temporal sealing and seccomp must not quietly
+// block anything. Every other preset keeps the paper's defaults, with
+// seccomp derivation skipped when no partition runs as a process (MPK
+// domains and in-host execution have no per-partition filter to install).
+func ConfigForIsolation(pol *isolation.Policy) Config {
+	if pol != nil && !pol.HasTier(isolation.TierProcess) && !pol.HasTier(isolation.TierDomain) {
+		return Config{LazyDataCopy: true, Isolation: pol}
+	}
+	cfg := Default()
+	cfg.Isolation = pol
+	cfg.RestrictSyscalls = pol.HasTier(isolation.TierProcess)
+	return cfg
 }
 
 // ChaosConfig returns the supervision policy used for chaos runs: the

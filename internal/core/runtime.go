@@ -9,6 +9,7 @@ import (
 	"freepart.dev/freepart/internal/analysis"
 	"freepart.dev/freepart/internal/framework"
 	"freepart.dev/freepart/internal/ipc"
+	"freepart.dev/freepart/internal/isolation"
 	"freepart.dev/freepart/internal/kernel"
 	"freepart.dev/freepart/internal/mem"
 	"freepart.dev/freepart/internal/metrics"
@@ -71,6 +72,17 @@ type Runtime struct {
 	// the scope is stable for the whole invocation.
 	ckptLog     *object.CheckpointLog
 	ckptSession int
+
+	// Domain-tier state (internal/isolation): the protection keys handed to
+	// MPK-domain partitions in spawn order, the next free key, and whether
+	// the policy uses any domain at all (when true, RegisterCritical also
+	// tags host objects with hostCriticalKey). domainMu serializes the
+	// PKRU-narrowing window of a domain-tier call. All written during New,
+	// except domainMu.
+	domainMu      sync.Mutex
+	domainKeys    []mem.Key
+	nextDomainKey mem.Key
+	usesDomains   bool
 }
 
 // agentPartition computes the default partition id of an API type.
@@ -95,10 +107,10 @@ func agentPartition(t framework.APIType) int {
 func New(k *kernel.Kernel, reg *framework.Registry, cat *analysis.Categorization, cfg Config) (*Runtime, error) {
 	rt := &Runtime{
 		K: k, Reg: reg, Cat: cat, Config: cfg,
-		Metrics:   metrics.New(),
-		agents:    make(map[int]*agent),
-		endpoints: make(map[uint32]*endpoint),
-		state:     framework.TypeUnknown, // initialization state
+		Metrics:     metrics.New(),
+		agents:      make(map[int]*agent),
+		endpoints:   make(map[uint32]*endpoint),
+		state:       framework.TypeUnknown, // initialization state
 		defined:     make(map[framework.APIType][]definedObject),
 		exempt:      make(map[exemptKey]bool),
 		analyzer:    analysis.New(reg, nil),
@@ -109,6 +121,14 @@ func New(k *kernel.Kernel, reg *framework.Registry, cat *analysis.Categorization
 	rt.endpoints[uint32(rt.Host.PID())] = &endpoint{
 		space: rt.Host.Space,
 		table: func() *object.Table { return rt.hostCtx.Table },
+	}
+	rt.usesDomains = cfg.Isolation != nil && cfg.Isolation.HasTier(isolation.TierDomain)
+	if cfg.Isolation != nil && (rt.usesDomains || cfg.Isolation.HasTier(isolation.TierHost)) {
+		// Domain- and host-tier partitions execute APIs in contexts that
+		// share the host's fate; exploit handling must route through the
+		// runtime there too. Guarded so the nil-policy (and pure-process
+		// "paper") path keeps the host context untouched, byte for byte.
+		rt.hostCtx.OnExploit = rt.exploit
 	}
 
 	if cfg.RestrictSyscalls {
@@ -162,7 +182,11 @@ func (rt *Runtime) partitionSet() map[int]map[framework.APIType]bool {
 	return out
 }
 
-// spawnAgent creates and initializes one partition.
+// spawnAgent creates and initializes one partition: the bare agent record
+// is built here, then the boundary the policy picked brings it up —
+// process spawn + RPC wiring for the process tier, protection-key
+// allocation for the domain tier, aliasing into the host for the host
+// tier.
 func (rt *Runtime) spawnAgent(id int, types map[framework.APIType]bool) error {
 	name := fmt.Sprintf("agent:%d", id)
 	if len(types) == 1 {
@@ -170,58 +194,15 @@ func (rt *Runtime) spawnAgent(id int, types map[framework.APIType]bool) error {
 			name = "agent:" + t.Long()
 		}
 	}
-	proc := rt.K.Spawn(name)
-	ctx := framework.NewCtx(rt.K, proc)
-	ctx.OnExploit = rt.exploit
-	ctx.Tracer = rt.Tracer
 	a := &agent{
 		id: id, name: name, types: types,
-		proc: proc, ctx: ctx,
 		remap:       make(map[uint64]uint64),
 		canon:       make(map[uint64]uint64),
 		checkpoints: make(map[uint64]checkpoint),
 		deref:       make(map[derefKey]uint64),
-		conn:        ipc.NewConn(64, rt.K.Clock, rt.K.Cost),
 	}
-	if rt.Config.CallDeadline > 0 {
-		a.conn.SetDeadline(rt.Config.CallDeadline)
-	}
-	a.conn.SetPeerCheck(func() bool { return a.process().Alive() })
-	if rt.policies != nil {
-		// A partition homing several types gets the union policy.
-		merged := &analysis.AgentPolicy{FDLabels: make(map[kernel.Sysno][]string)}
-		for t := range types {
-			if p, ok := rt.policies[t]; ok {
-				merged.Allowed = append(merged.Allowed, p.Allowed...)
-				merged.InitOnly = append(merged.InitOnly, p.InitOnly...)
-				for call, labels := range p.FDLabels {
-					merged.FDLabels[call] = append(merged.FDLabels[call], labels...)
-				}
-			}
-		}
-		a.policy = merged
-	}
-	go a.conn.Serve(rt.serve(a))
-
-	rt.mu.Lock()
-	rt.agents[id] = a
-	rt.endpoints[uint32(proc.PID())] = &endpoint{
-		space: func() *mem.AddressSpace { return a.process().Space() },
-		table: func() *object.Table { return a.context().Table },
-		agent: a,
-	}
-	rt.mu.Unlock()
-
-	if err := rt.initAgent(a); err != nil {
-		return err
-	}
-	if a.policy != nil {
-		if err := a.policy.Apply(proc.Filter(), rt.Config.FilterAction); err != nil {
-			return err
-		}
-	}
-	rt.armChaos(a)
-	return nil
+	a.boundary = rt.boundaryFor(types)
+	return a.boundary.Spawn(rt, a)
 }
 
 // initAgent performs the one-time initialization syscalls that the
@@ -328,21 +309,32 @@ func (rt *Runtime) State() framework.APIType {
 // HostCtx exposes the host execution context (application code runs here).
 func (rt *Runtime) HostCtx() *framework.Ctx { return rt.hostCtx }
 
-// Close shuts down all agent connections.
+// Close shuts down all agent connections (domain- and host-tier
+// partitions have none).
 func (rt *Runtime) Close() {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	for _, a := range rt.agents {
-		a.conn.Close()
+		if a.conn != nil {
+			a.conn.Close()
+		}
 	}
 }
 
 // RegisterCritical records a host-space object for temporal protection:
-// it becomes read-only when the framework leaves the current state.
+// it becomes read-only when the framework leaves the current state. When
+// the policy runs any partition as an MPK domain, the object's pages are
+// additionally tagged with the reserved host-critical protection key, so
+// a domain-tier partition faults on them mid-call even for reads (the
+// temporal seal alone leaves reads open).
 func (rt *Runtime) RegisterCritical(r mem.Region) {
 	rt.mu.Lock()
-	defer rt.mu.Unlock()
 	rt.defined[rt.state] = append(rt.defined[rt.state], definedObject{space: rt.Host.Space(), region: r})
+	usesDomains := rt.usesDomains
+	rt.mu.Unlock()
+	if usesDomains {
+		_ = rt.Host.Space().SetKey(r, hostCriticalKey)
+	}
 }
 
 // transition enforces §4.4.3: on a state change, every object defined
@@ -458,41 +450,16 @@ func (rt *Runtime) Call(apiName string, args ...framework.Value) ([]Handle, []fr
 		return rt.finishDegraded(api, args)
 	}
 
-	call, err := rt.marshalArgs(args)
-	if err != nil {
-		return nil, nil, err
-	}
-	call.API = apiName
-
-	reply, err := rt.callAgent(a, call)
+	// Cross the partition's isolation boundary: per-call IPC for the
+	// process tier, a PKRU-bracketed direct call for the domain tier,
+	// plain in-host execution for the host tier.
+	handles, plain, err := a.boundary.Invoke(rt, a, api, args)
 	if errors.Is(err, errAgentDegraded) {
 		// The breaker tripped while this very call was being supervised.
 		return rt.finishDegraded(api, args)
 	}
 	if err != nil {
 		return nil, nil, err
-	}
-
-	handles := make([]Handle, 0, len(reply.Results))
-	plain := make([]framework.Value, 0, len(reply.Results))
-	for i, v := range reply.Results {
-		if v.Kind != framework.ValRef {
-			plain = append(plain, v)
-			continue
-		}
-		h := Handle{ref: v.Ref, size: v.Ref.Size, kind: v.Ref.Kind}
-		if !rt.Config.LazyDataCopy {
-			// Materialize through the host process (Fig. 11-(b)).
-			payload := reply.Payloads[i]
-			o, err := object.Rebuild(rt.Host.Space(), v.Ref, payload)
-			if err != nil {
-				return nil, nil, err
-			}
-			rt.Metrics.AddEagerCopy(len(payload))
-			rt.K.Clock.Advance(rt.K.Cost.CopyCost(len(payload)))
-			h = Handle{local: rt.hostCtx.Table.Put(o), materialized: true, size: len(payload), kind: v.Ref.Kind}
-		}
-		handles = append(handles, h)
 	}
 	if api.Stateful {
 		for _, h := range handles {
@@ -613,7 +580,9 @@ func (rt *Runtime) Locate(h Handle) (*mem.AddressSpace, mem.Region, bool) {
 
 // RestartDead revives every crashed or killed agent under the restart
 // policy (the standalone supervisor of §4.4.2). It is also invoked
-// automatically when a call observes a crash.
+// automatically when a call observes a crash. Only process-tier
+// partitions are restartable: a dead domain- or host-tier partition
+// means the host process itself is gone.
 func (rt *Runtime) RestartDead() error {
 	rt.mu.Lock()
 	agents := make([]*agent, 0, len(rt.agents))
@@ -622,6 +591,9 @@ func (rt *Runtime) RestartDead() error {
 	}
 	rt.mu.Unlock()
 	for _, a := range agents {
+		if a.boundary.Tier() != isolation.TierProcess {
+			continue
+		}
 		if !a.process().Alive() {
 			if err := rt.superviseRestart(a); err != nil {
 				return err
@@ -645,8 +617,16 @@ func (rt *Runtime) Fetch(h Handle) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	rt.Metrics.AddLazyCopy(len(payload))
-	rt.K.Clock.Advance(rt.K.Cost.DirectCopyCost(len(payload)))
+	// Dereferencing a domain-tier result is an in-address-space read, not
+	// a cross-space copy; it pays the cheaper domain rate. The nil-policy
+	// path never has domain owners, so it charges exactly as before.
+	if ep, ok := rt.endpoint(h.ref.PID); ok && ep.agent != nil && ep.agent.boundary.Tier() == isolation.TierDomain {
+		rt.Metrics.AddDomainCopy(len(payload))
+		rt.K.Clock.Advance(rt.K.Cost.DomainCopyCost(len(payload)))
+	} else {
+		rt.Metrics.AddLazyCopy(len(payload))
+		rt.K.Clock.Advance(rt.K.Cost.DirectCopyCost(len(payload)))
+	}
 	return payload, nil
 }
 

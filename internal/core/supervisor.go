@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"freepart.dev/freepart/internal/framework"
 	"freepart.dev/freepart/internal/mem"
@@ -64,11 +65,18 @@ func (rt *Runtime) superviseRestart(a *agent) error {
 }
 
 // callDegraded executes an API in the host process on behalf of a degraded
-// partition: argument refs are materialized into the host space and the API
-// runs with no isolation — availability bought by a recorded security
-// downgrade.
+// partition: availability bought by a recorded security downgrade.
 func (rt *Runtime) callDegraded(api *framework.API, args []framework.Value) ([]Handle, []framework.Value, error) {
 	rt.Metrics.AddDegradedCall()
+	return rt.callInHost(api, args)
+}
+
+// callInHost executes an API in the host process: argument refs are
+// materialized into the host space and the API runs with no isolation.
+// This is both the breaker's degraded path (via callDegraded, which also
+// counts the downgrade) and the host tier of the Boundary layer, where
+// running unprotected is the policy's explicit choice.
+func (rt *Runtime) callInHost(api *framework.API, args []framework.Value) ([]Handle, []framework.Value, error) {
 	local := make([]framework.Value, len(args))
 	for i, v := range args {
 		if v.Kind != framework.ValRef {
@@ -140,7 +148,7 @@ func (rt *Runtime) EndpointCount() int {
 }
 
 // DegradedPartitions returns the names of partitions the circuit breaker
-// has demoted to in-host execution.
+// has demoted to in-host execution, sorted for deterministic logs.
 func (rt *Runtime) DegradedPartitions() []string {
 	rt.mu.Lock()
 	agents := make([]*agent, 0, len(rt.agents))
@@ -154,5 +162,6 @@ func (rt *Runtime) DegradedPartitions() []string {
 			out = append(out, a.name)
 		}
 	}
+	sort.Strings(out)
 	return out
 }

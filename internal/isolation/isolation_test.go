@@ -1,0 +1,86 @@
+package isolation
+
+import (
+	"reflect"
+	"testing"
+
+	"freepart.dev/freepart/internal/framework"
+)
+
+func TestTierOrdering(t *testing.T) {
+	// boundaryFor picks the strongest tier among a partition's types, so
+	// the ordering is load-bearing: host < domain < process.
+	if !(TierHost < TierDomain && TierDomain < TierProcess) {
+		t.Fatal("tier ordering broken")
+	}
+}
+
+func TestTierOfDefaultsToProcess(t *testing.T) {
+	var nilPol *Policy
+	if got := nilPol.TierOf(framework.TypeLoading); got != TierProcess {
+		t.Fatalf("nil policy TierOf = %v, want process", got)
+	}
+	p := &Policy{Name: "partial", Tiers: map[framework.APIType]Tier{framework.TypeStoring: TierHost}}
+	if got := p.TierOf(framework.TypeLoading); got != TierProcess {
+		t.Fatalf("absent type TierOf = %v, want process", got)
+	}
+	if got := p.TierOf(framework.TypeStoring); got != TierHost {
+		t.Fatalf("mapped type TierOf = %v, want host", got)
+	}
+}
+
+func TestPresets(t *testing.T) {
+	types := framework.ConcreteTypes()
+	for _, ty := range types {
+		if got := Paper().TierOf(ty); got != TierProcess {
+			t.Errorf("paper %s = %v", ty, got)
+		}
+		if got := ERIM().TierOf(ty); got != TierDomain {
+			t.Errorf("erim %s = %v", ty, got)
+		}
+		if got := None().TierOf(ty); got != TierHost {
+			t.Errorf("none %s = %v", ty, got)
+		}
+	}
+	tiered := Tiered()
+	want := map[framework.APIType]Tier{
+		framework.TypeLoading:     TierProcess,
+		framework.TypeProcessing:  TierProcess,
+		framework.TypeVisualizing: TierDomain,
+		framework.TypeStoring:     TierDomain,
+	}
+	for ty, w := range want {
+		if got := tiered.TierOf(ty); got != w {
+			t.Errorf("tiered %s = %v, want %v", ty, got, w)
+		}
+	}
+}
+
+func TestHasTier(t *testing.T) {
+	if !Tiered().HasTier(TierDomain) || !Tiered().HasTier(TierProcess) {
+		t.Fatal("tiered must report both its tiers")
+	}
+	if Paper().HasTier(TierDomain) {
+		t.Fatal("paper has no domain tier")
+	}
+	var nilPol *Policy
+	if !nilPol.HasTier(TierProcess) || nilPol.HasTier(TierHost) {
+		t.Fatal("nil policy is all-process")
+	}
+}
+
+func TestByNameAndNames(t *testing.T) {
+	for _, name := range Names() {
+		p, ok := ByName(name)
+		if !ok || p.Name != name {
+			t.Fatalf("ByName(%q) = %+v, %v", name, p, ok)
+		}
+	}
+	if _, ok := ByName("bogus"); ok {
+		t.Fatal("ByName must reject unknown policies")
+	}
+	want := []string{"erim", "none", "paper", "tiered"}
+	if got := Names(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Names() = %v, want %v (sorted)", got, want)
+	}
+}

@@ -103,6 +103,31 @@ func (k *Kernel) Spawn(name string) *Process {
 	return p
 }
 
+// SpawnDomain creates a running process that *shares* host's address space
+// — the kernel-side substrate of an ERIM-style MPK protection domain. The
+// domain gets its own pid (so object refs stay unambiguous) and its own
+// permissive filter (MPK offers no per-domain seccomp), but no new memory:
+// containment comes entirely from protection keys. Setup charges one
+// mprotect-class cost (pkey_alloc + tagging), not a process spawn — creating
+// a domain is three orders of magnitude cheaper than forking an agent.
+func (k *Kernel) SpawnDomain(name string, host *Process) *Process {
+	k.mu.Lock()
+	pid := k.nextPID
+	k.nextPID++
+	p := &Process{
+		pid:      pid,
+		name:     name,
+		space:    host.Space(),
+		filter:   NewFilter(),
+		state:    StateRunning,
+		sysCount: make(map[Sysno]uint64),
+	}
+	k.procs[pid] = p
+	k.mu.Unlock()
+	k.Clock.Advance(k.Cost.MProtect)
+	return p
+}
+
 // Process looks up a process by pid.
 func (k *Kernel) Process(pid PID) (*Process, bool) {
 	k.mu.Lock()

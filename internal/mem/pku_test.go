@@ -120,6 +120,70 @@ func TestKeyOrthogonalToPagePerms(t *testing.T) {
 	}
 }
 
+func TestKeyReassignOverlappingRegion(t *testing.T) {
+	// Re-tagging an overlapping region moves its pages wholesale into the
+	// new domain: the last SetKey wins per page, with no residue of the old
+	// key (the pkey_mprotect semantics the domain boundary relies on when a
+	// result object is tagged after its argument pages were).
+	s := NewSpace()
+	r, _ := s.Alloc(PageSize * 3)
+	if err := s.SetKey(r, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Overlap: re-tag the middle page only.
+	mid := Region{Base: r.Base + PageSize, Size: PageSize}
+	if err := s.SetKey(mid, 7); err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []Key{2, 7, 2} {
+		if k, ok := s.KeyAt(r.Base + Addr(i*PageSize)); !ok || k != want {
+			t.Fatalf("page %d key = %d, %v; want %d", i, k, ok, want)
+		}
+	}
+	// Revoking the old key leaves the re-tagged page untouched.
+	_ = s.SetKeyAccess(2, false, false)
+	if err := s.Store(mid.Base, []byte{1}); err != nil {
+		t.Fatalf("re-tagged page must follow its new key: %v", err)
+	}
+	if err := s.Store(r.Base, []byte{1}); err == nil {
+		t.Fatal("old-key page must fault once key 2 is revoked")
+	}
+}
+
+func TestKeyFaultFieldsDeterministic(t *testing.T) {
+	// A key-denied access surfaces as a *Fault with fully deterministic
+	// fields: page-aligned address, the attempted access kind, the page's
+	// (still permissive) permission, and Mapped=true. Replay logs compare
+	// these bytes, so they must not vary run to run.
+	s := NewSpace()
+	r, _ := s.Alloc(PageSize * 2)
+	_ = s.SetKey(r, 6)
+	_ = s.SetKeyAccess(6, false, false)
+	// Fault on the second page, at an unaligned offset.
+	addr := r.Base + PageSize + 123
+	_, err := s.Load(addr, 1)
+	f, ok := IsFault(err)
+	if !ok {
+		t.Fatalf("want *Fault, got %v", err)
+	}
+	want := Fault{Space: f.Space, Addr: r.Base + PageSize, Kind: AccessRead, Perm: PermRW, Mapped: true}
+	if *f != want {
+		t.Fatalf("fault = %+v, want %+v", *f, want)
+	}
+	// Byte-equal across repetitions, and the write kind is reported as such.
+	for i := 0; i < 3; i++ {
+		_, err2 := s.Load(addr, 1)
+		f2, _ := IsFault(err2)
+		if f2 == nil || *f2 != *f || f2.Error() != f.Error() {
+			t.Fatalf("fault not deterministic: %+v vs %+v", f2, f)
+		}
+	}
+	serr := s.Store(addr, []byte{1})
+	if sf, ok := IsFault(serr); !ok || sf.Kind != AccessWrite || sf.Addr != r.Base+PageSize {
+		t.Fatalf("store fault = %+v", serr)
+	}
+}
+
 func TestKeyRoundTripProperty(t *testing.T) {
 	s := NewSpace()
 	r, _ := s.Alloc(PageSize)

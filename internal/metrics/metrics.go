@@ -43,6 +43,12 @@ type Counters struct {
 	rejected     uint64
 	deadlineShed uint64
 	tenants      map[int]TenantCounts
+
+	domainSwitches   uint64
+	domainCopies     uint64
+	domainCopyBytes  uint64
+	domainGrants     uint64
+	domainGrantBytes uint64
 }
 
 // TenantCounts is one tenant's share of the serving outcome: invocations
@@ -112,6 +118,19 @@ type Snapshot struct {
 	// inside the same critical section as the event log appends, so an
 	// EventsAndMetrics pair is always mutually consistent.
 	Tenants map[int]TenantCounts
+
+	// DomainSwitches counts protection-key domain entries/exits (one WRPKRU
+	// per switch; a domain-tier call charges two).
+	DomainSwitches uint64
+	// DomainCopies/DomainCopyBytes count buffers physically moved between
+	// protection domains inside one address space (the cheapest copy tier).
+	DomainCopies    uint64
+	DomainCopyBytes uint64
+	// DomainGrants/DomainGrantBytes count cross-domain read-only page
+	// grants: object payloads a domain consumed without any copy charge
+	// (the MPK analogue of lazy data copy).
+	DomainGrants     uint64
+	DomainGrantBytes uint64
 }
 
 // New creates zeroed counters.
@@ -295,6 +314,36 @@ func (c *Counters) AddDeadlineShed(t int) {
 	c.tenants[t] = tc
 }
 
+// AddDomainSwitch records one protection-key domain entry or exit.
+func (c *Counters) AddDomainSwitch() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.domainSwitches++
+}
+
+// AddDomainCopy records n bytes physically copied between protection
+// domains inside one address space.
+func (c *Counters) AddDomainCopy(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.domainCopies++
+	if n > 0 {
+		c.domainCopyBytes += uint64(n)
+		c.bytesMoved += uint64(n)
+	}
+}
+
+// AddDomainGrant records n bytes consumed across domains via a read-only
+// page grant (no copy charged).
+func (c *Counters) AddDomainGrant(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.domainGrants++
+	if n > 0 {
+		c.domainGrantBytes += uint64(n)
+	}
+}
+
 // AddTenantServed records one cleanly completed invocation for tenant t.
 func (c *Counters) AddTenantServed(t int) {
 	c.mu.Lock()
@@ -325,11 +374,14 @@ func (c *Counters) Snapshot() Snapshot {
 		DegradedCalls: c.degradedCalls, InjectedFaults: c.injectedFaults,
 		ShardDrains: c.shardDrains, Migrations: c.migrations,
 		FailedMigrations: c.failedMigrations,
-		ScaleUps:   c.scaleUps, ScaleDowns: c.scaleDowns,
+		ScaleUps:         c.scaleUps, ScaleDowns: c.scaleDowns,
 		Rebalances: c.rebalances, BatchedAdmissions: c.batchedAdmissions,
 		BatchedRequests: c.batchedRequests,
-		Rejected:   c.rejected, DeadlineShed: c.deadlineShed,
-		Tenants: tenants,
+		Rejected:        c.rejected, DeadlineShed: c.deadlineShed,
+		Tenants:        tenants,
+		DomainSwitches: c.domainSwitches,
+		DomainCopies:   c.domainCopies, DomainCopyBytes: c.domainCopyBytes,
+		DomainGrants: c.domainGrants, DomainGrantBytes: c.domainGrantBytes,
 	}
 }
 

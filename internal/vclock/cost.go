@@ -63,26 +63,37 @@ type CostModel struct {
 	// memory bandwidth is lower than local, so a cross-socket move pays
 	// this on top of the normal materialization cost.
 	CrossSocketPerBytePS int64
+	// DomainSwitch is the fixed cost of one protection-key domain entry or
+	// exit: a WRPKRU write plus pipeline serialization. ERIM measures the
+	// switch at ~100 cycles (~30 ns) — the reason MPK domains undercut
+	// process IPC by two orders of magnitude per call.
+	DomainSwitch Duration
+	// DomainCopyPerBytePS is the per-byte cost in picoseconds of moving a
+	// buffer between protection domains inside one address space: a plain
+	// memcpy with no serialization, no page remapping, and warm caches.
+	DomainCopyPerBytePS int64
 }
 
 // Default returns the calibrated cost model used by all experiments.
 func Default() CostModel {
 	return CostModel{
-		IPCRoundTrip:        2 * time.Microsecond,
-		IPCTimeout:          100 * time.Microsecond,
-		CopyPerBytePS:       1500, // 1.5 ns/B, marshalled path
-		DirectCopyPerBytePS: 500,  // 0.5 ns/B, raw agent-to-agent copy
-		Syscall:             300 * time.Nanosecond,
-		SeccompCheck:        60 * time.Nanosecond,
-		MProtect:            800 * time.Nanosecond,
-		PageTouch:           25 * time.Nanosecond,
-		ProcessSpawn:        250 * time.Microsecond,
-		ComputePerBytePS:    5000, // 5 ns/B per pass (real CV kernels run 5-150 ns/B)
-		APIFixed:            1 * time.Microsecond,
-		DeviceReadPerBytePS: 1000, // 1 ns/B
-		CheckpointPerBytePS: 1000, // 1 ns/B
-		SocketHop:           500 * time.Nanosecond,
-		CrossSocketPerBytePS: 800, // 0.8 ns/B of remote-memory penalty
+		IPCRoundTrip:         2 * time.Microsecond,
+		IPCTimeout:           100 * time.Microsecond,
+		CopyPerBytePS:        1500, // 1.5 ns/B, marshalled path
+		DirectCopyPerBytePS:  500,  // 0.5 ns/B, raw agent-to-agent copy
+		Syscall:              300 * time.Nanosecond,
+		SeccompCheck:         60 * time.Nanosecond,
+		MProtect:             800 * time.Nanosecond,
+		PageTouch:            25 * time.Nanosecond,
+		ProcessSpawn:         250 * time.Microsecond,
+		ComputePerBytePS:     5000, // 5 ns/B per pass (real CV kernels run 5-150 ns/B)
+		APIFixed:             1 * time.Microsecond,
+		DeviceReadPerBytePS:  1000, // 1 ns/B
+		CheckpointPerBytePS:  1000, // 1 ns/B
+		SocketHop:            500 * time.Nanosecond,
+		CrossSocketPerBytePS: 800,                  // 0.8 ns/B of remote-memory penalty
+		DomainSwitch:         30 * time.Nanosecond, // ~100 cycles per WRPKRU (ERIM)
+		DomainCopyPerBytePS:  250,                  // 0.25 ns/B, in-address-space memcpy
 	}
 }
 
@@ -111,6 +122,23 @@ func (m CostModel) DirectCopyCost(n int) Duration {
 		n = 0
 	}
 	return psToDuration(int64(n) * m.DirectCopyPerBytePS)
+}
+
+// DomainSwitchCost returns the fixed virtual cost of one protection-key
+// domain entry or exit (charged twice per domain-tier call: in and out).
+func (m CostModel) DomainSwitchCost() Duration {
+	return m.DomainSwitch
+}
+
+// DomainCopyCost returns the virtual cost of moving n bytes between
+// protection domains inside one address space — the cheapest copy tier,
+// under both the marshalled path (CopyCost) and the raw cross-space path
+// (DirectCopyCost).
+func (m CostModel) DomainCopyCost(n int) Duration {
+	if n < 0 {
+		n = 0
+	}
+	return psToDuration(int64(n) * m.DomainCopyPerBytePS)
 }
 
 // ComputeCost returns the virtual cost of an API touching n bytes with a
