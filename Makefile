@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race soak shardsoak autoscalesoak overloadsoak isolationsoak bench serving failover autoscale overload isolation
+.PHONY: check fmt vet build test race soak shardsoak autoscalesoak overloadsoak isolationsoak defensesoak bench serving failover autoscale overload isolation defense
 
-check: fmt vet build race soak shardsoak autoscalesoak overloadsoak isolationsoak
+check: fmt vet build race soak shardsoak autoscalesoak overloadsoak isolationsoak defensesoak
 
 # gofmt cleanliness gate: fails listing any file that gofmt would rewrite.
 fmt:
@@ -87,3 +87,17 @@ isolationsoak:
 # to BENCH_isolation.json (blocked matrix, critical path, domain switches).
 isolation:
 	$(GO) run ./cmd/experiments -exp isolation -json BENCH_isolation.json
+
+# Defense soak under the race detector: the adaptive controller's full
+# sense/escalate/quarantine/anneal arc driven under background chaos across
+# several seeds; decision logs, outcome classes, injection logs, and
+# failover events must replay byte-equal.
+defensesoak:
+	$(GO) test -race -run TestDefenseSoak -count=1 ./internal/chaos/
+
+# Adaptive-defense drill: the 18-CVE campaign replayed against the four
+# static presets and the adaptive controller (erim floor), written to
+# BENCH_defense.json (containment, controller decisions, steady-state
+# overhead after annealing).
+defense:
+	$(GO) run ./cmd/experiments -exp defense -json BENCH_defense.json

@@ -7,7 +7,7 @@
 //	experiments -exp fig13 -scale 8
 //
 // Experiments: table1..table12, fig4, fig6, fig7, fig13, a14, security,
-// robustness, serving, failover, autoscale, overload, isolation.
+// robustness, serving, failover, autoscale, overload, isolation, defense.
 package main
 
 import (
@@ -56,6 +56,7 @@ func main() {
 		"autoscale":  func() (string, error) { return report.TableAutoscale(*jsonOut) },
 		"overload":   func() (string, error) { return report.TableOverload(*jsonOut) },
 		"isolation":  func() (string, error) { return report.TableIsolation(*jsonOut) },
+		"defense":    func() (string, error) { return report.TableDefense(*jsonOut) },
 	}
 
 	if *exp != "" {

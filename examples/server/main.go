@@ -34,12 +34,24 @@
 // under the named Boundary policy, with the per-tier mechanism costs and
 // the domain switch/copy counters the run generated printed at the end.
 //
+// Pass -defense to run the adaptive-defense act: the pool starts at the
+// cheap erim floor with the defense controller armed, an attacker lands
+// one imread DoS exploit (first sighting: the shard's host dies and fails
+// over), and the next barrier arms the signature blocklist, quarantines
+// the attacker, and escalates the hit API type. The repeat exploit dies
+// at the front door (attack-blocked), the attacker's benign traffic is
+// refused at admission (quarantined), honest users keep being served, and
+// after a clean wave the policy anneals back to the floor and the tenant
+// is released. The demo prints the failure classes and the replayable
+// decision log.
+//
 //	go run ./examples/server
 //	go run ./examples/server -concurrency 4 -requests 64
 //	go run ./examples/server -concurrency 4 -requests 64 -kill-shard 2@1ms
 //	go run ./examples/server -autoscale -concurrency 8
 //	go run ./examples/server -overload 4 -concurrency 4
 //	go run ./examples/server -isolation tiered -concurrency 4
+//	go run ./examples/server -defense -concurrency 4
 package main
 
 import (
@@ -54,6 +66,7 @@ import (
 	"freepart.dev/freepart/internal/analysis"
 	"freepart.dev/freepart/internal/attack"
 	"freepart.dev/freepart/internal/core"
+	"freepart.dev/freepart/internal/defense"
 	"freepart.dev/freepart/internal/framework"
 	"freepart.dev/freepart/internal/framework/all"
 	"freepart.dev/freepart/internal/framework/simcv"
@@ -74,6 +87,7 @@ func main() {
 	autoscale := flag.Bool("autoscale", false, "autoscaling drill: serve the tracking load ramp with the control plane scaling 2..concurrency shards")
 	overload := flag.Int("overload", 0, "overload drill: offer the two-tenant tracking load at this multiple of pool capacity (0 = off)")
 	isolationName := flag.String("isolation", "", "isolation drill: serve under this tier policy (paper|tiered|erim|none; empty = off)")
+	defenseMode := flag.Bool("defense", false, "adaptive-defense drill: start at the erim floor, escalate/quarantine on attack sightings, anneal back")
 	flag.Parse()
 	// Fail bad flags fast, before any demo act runs.
 	if *concurrency < 1 {
@@ -97,6 +111,11 @@ func main() {
 		if !ok {
 			log.Fatalf("-isolation %q: unknown policy; want one of %s", *isolationName, strings.Join(isolation.Names(), "|"))
 		}
+	}
+	if *defenseMode {
+		fmt.Printf("=== FreePart adaptive defense mode (%d shards) ===\n", *concurrency)
+		serveDefense(*concurrency, *requests)
+		return
 	}
 	if pol != nil {
 		fmt.Printf("=== FreePart isolation mode (%s policy, %d shards) ===\n", pol.Name, *concurrency)
@@ -517,6 +536,140 @@ func serveIsolation(shards, requests int, pol *isolation.Policy) {
 	fmt.Printf("  host:    zero cost, zero containment\n")
 	fmt.Printf("domain traffic this run: %d switches, %d copies (%d B), %d read-only grants (%d B)\n",
 		sw, cp, cpB, gr, grB)
+}
+
+// serveDefense runs the adaptive-defense act: a session-sharded detection
+// pool built over core.DynamicShards so re-binds pick up the defense
+// controller's live policy, starting at the cheap erim floor. One attacker
+// tenant lands an imread DoS exploit (the first sighting — at the domain
+// tier the shard's host dies and the pool fails over), then the reconcile
+// barrier arms the signature blocklist, quarantines the tenant, and
+// escalates the hit API type to the process tier. Every later move is a
+// typed front-door rejection: the repeat exploit is attack-blocked, the
+// quarantined tenant's benign traffic is refused at admission, and honest
+// traffic keeps flowing until the clean window anneals the policy back.
+func serveDefense(shards, requests int) {
+	reg := all.Registry()
+	cat := analysis.New(reg, nil).Categorize()
+	floor := isolation.ERIM()
+	var ctl *defense.Controller
+	factory := core.DynamicShards(reg, cat, func() core.Config {
+		p := floor
+		if ctl != nil {
+			p = ctl.Policy()
+		}
+		return core.ConfigForIsolation(p)
+	}, nil)
+	ex, err := core.NewExecutor(shards, factory)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ex.Close()
+	// Tiny windows on purpose: barriers only run between demo waves, and
+	// one wave is more virtual time than either window, so the whole
+	// escalate-quarantine-anneal-release arc fits in one run.
+	ctl = defense.New(ex, defense.Params{
+		Floor:            floor,
+		CleanWindow:      vclock.Duration(10 * time.Microsecond),
+		QuarantineWindow: vclock.Duration(10 * time.Microsecond),
+	})
+	ex.SetAdmissionGate(ctl.Gate())
+	srv, err := apps.ProvisionDetection(ex)
+	if err != nil {
+		log.Fatal(err)
+	}
+	alog := &attack.Log{}
+	arm := func(sh *core.Shard) { ctl.Arm(sh, alog.Handler()) }
+	for i := 0; i < ex.Shards(); i++ {
+		arm(ex.Shard(i))
+	}
+	ex.SetOnReplace(func(sh *core.Shard) error {
+		if err := srv.Reload(sh); err != nil {
+			return err
+		}
+		arm(sh)
+		return nil
+	})
+	fmt.Printf("floor policy %s, defense controller armed on %d shards\n", floor.Name, ex.Shards())
+
+	reqs := apps.GenDetectionRequests(11, requests)
+	wave := func(name string) {
+		results := srv.Serve(reqs)
+		fmt.Printf("%s: served %d/%d requests\n", name, apps.Served(results), len(reqs))
+	}
+	const cveID = "CVE-2017-14136"
+	const attacker = 66
+	byClass := map[string]int{}
+	attackOnce := func(label string) {
+		if err := ctl.Screen(cveID); err != nil {
+			byClass[core.ErrClass(err)]++
+			fmt.Printf("attacker %s: %s\n", label, core.ErrClass(err))
+			return
+		}
+		sess := ex.SessionFor(attacker, 1)
+		defer sess.Finish()
+		shardID, hostDied := -1, false
+		err := sess.Do(func(sh *core.Shard) error {
+			shardID = sh.ID
+			sh.K.FS.WriteFile("/srv/evil.img", attack.DoS(cveID))
+			_, _, callErr := sh.Ex.Call("cv.imread", framework.Str("/srv/evil.img"))
+			if sh.Rt != nil {
+				hostDied = !sh.Rt.Host.Alive()
+				if !hostDied {
+					_ = sh.Rt.RestartDead()
+				}
+			}
+			return callErr
+		})
+		if err != nil {
+			byClass[core.ErrClass(err)]++
+			fmt.Printf("attacker %s: %s\n", label, core.ErrClass(err))
+		} else {
+			fmt.Printf("attacker %s: landed\n", label)
+		}
+		if hostDied && shardID >= 0 {
+			ex.KillShard(shardID, cveID+" killed the host")
+			fmt.Printf("  shard %d host killed by the exploit; next admission fails it over\n", shardID)
+		}
+	}
+	benignOnce := func(label string) {
+		sess := ex.SessionFor(attacker, 1)
+		defer sess.Finish()
+		err := sess.Do(func(sh *core.Shard) error {
+			sh.K.FS.WriteFile("/srv/attacker.img", reqs[0].Body)
+			_, _, err := sh.Ex.Call("cv.imread", framework.Str("/srv/attacker.img"))
+			return err
+		})
+		if err != nil {
+			byClass[core.ErrClass(err)]++
+			fmt.Printf("attacker %s: %s\n", label, core.ErrClass(err))
+		} else {
+			fmt.Printf("attacker %s: served\n", label)
+		}
+	}
+	barrier := func() { ctl.Tick(ex.CriticalPath()) }
+
+	wave("steady wave")
+	barrier()
+	attackOnce("first exploit")
+	barrier()
+	attackOnce("repeat exploit")
+	benignOnce("benign request while quarantined")
+	wave("pressure wave (escalated tiers)")
+	barrier()
+	wave("post-anneal wave")
+	barrier()
+	benignOnce("benign request after release")
+
+	printClassSummary(byClass)
+	st := ctl.Stats()
+	fmt.Printf("sightings %d (%d watchdog), escalations %d, anneals %d, quarantines %d, releases %d, rebinds %d\n",
+		st.Sightings, st.WatchdogTrips, st.Escalations, st.Anneals, st.Quarantines, st.Releases, st.Rebinds)
+	fmt.Printf("policy back at floor: %v\n", ctl.Policy().Equal(ctl.Floor()))
+	fmt.Println("decision log (replayable, byte-equal across runs):")
+	for _, ev := range ctl.Events() {
+		fmt.Printf("  %s\n", ev)
+	}
 }
 
 // printClassSummary prints a per-class failure tally ("failures by class:

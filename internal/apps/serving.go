@@ -98,6 +98,13 @@ func (srv *DetectionServer) loadModel(sh *core.Shard) error {
 	return nil
 }
 
+// Reload provisions one shard with the interned classifier — the same
+// hook body ProvisionDetection installs as OnReplace. Exported so callers
+// composing their own replacement chain (the defense drill re-arms its
+// sensors on every replacement shard, then still needs the model loaded)
+// can keep the load step in the chain.
+func (srv *DetectionServer) Reload(sh *core.Shard) error { return srv.loadModel(sh) }
+
 // model returns the classifier handle currently loaded on shard id.
 func (srv *DetectionServer) model(id int) core.Handle {
 	srv.mu.Lock()

@@ -120,6 +120,19 @@ func (c VulnClass) BlockedBy(t isolation.Tier) bool {
 	}
 }
 
+// RequiredTier returns the weakest isolation tier that contains this
+// vulnerability class — the escalation target the defense controller
+// jumps to on a sighting. Memory reads and writes fault under the MPK
+// domain's protection keys, so TierDomain suffices; everything else
+// (DoS, RCE, file read, fork bombs) needs the separate address space,
+// seccomp filter, and restartable fate of TierProcess.
+func (c VulnClass) RequiredTier() isolation.Tier {
+	if c.BlockedBy(isolation.TierDomain) {
+		return isolation.TierDomain
+	}
+	return isolation.TierProcess
+}
+
 // studyProfile describes one framework's CVE distribution in the §4.1
 // study 2 corpus (241 CVEs, Aug 2018 – Feb 2022): counts per API type and
 // the class mix within each type. The totals (172/44/22/3) come from the

@@ -24,6 +24,17 @@ var (
 	// dequeue without running — stale work would waste capacity the live
 	// requests need.
 	ErrDeadlineExceeded = errors.New("core: admission deadline exceeded before service")
+
+	// ErrQuarantined is the defense controller's tenant-level refusal: the
+	// tenant was caught attacking and its traffic is rejected at admission
+	// until the quarantine is lifted (see internal/defense).
+	ErrQuarantined = errors.New("core: tenant quarantined after attack sighting")
+
+	// ErrAttackBlocked is the signature screen's refusal: the request
+	// matched the signature of an exploit the defense controller has
+	// already sighted, so it is rejected at the front door without ever
+	// reaching a partition.
+	ErrAttackBlocked = errors.New("core: request matched a known attack signature")
 )
 
 // ErrClass buckets an invocation error into the serving layer's failure
@@ -37,6 +48,10 @@ func ErrClass(err error) string {
 		return "overloaded"
 	case errors.Is(err, ErrDeadlineExceeded):
 		return "deadline"
+	case errors.Is(err, ErrQuarantined):
+		return "quarantined"
+	case errors.Is(err, ErrAttackBlocked):
+		return "attack-blocked"
 	case errors.Is(err, ipc.ErrTimeout):
 		return "timeout"
 	case errors.Is(err, ipc.ErrPeerDead):
@@ -48,6 +63,31 @@ func ErrClass(err error) string {
 	default:
 		return "app-error"
 	}
+}
+
+// AdmissionGate is a pluggable per-request refusal hook consulted at
+// admission, before the overload policy: given the requesting tenant and
+// session, a non-nil return rejects the request with that error (the
+// defense controller installs its quarantine check here, returning
+// ErrQuarantined-wrapped errors). The gate must be a pure function of
+// state that changes only at reconcile barriers so per-shard admission
+// outcomes replay deterministically. A gated request is as pure as a
+// shed one: no clock advance, no checkpoint, no chaos draw. Nil (the
+// default) keeps the pre-defense admission path untouched.
+type AdmissionGate func(tenant, session int) error
+
+// SetAdmissionGate installs (or, with nil, removes) the admission gate.
+func (e *Executor) SetAdmissionGate(g AdmissionGate) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.gate = g
+}
+
+// admissionGate reads the installed gate.
+func (e *Executor) admissionGate() AdmissionGate {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.gate
 }
 
 // AdmissionPolicy bounds what a shard will queue. The zero value disables
@@ -165,6 +205,11 @@ func (e *Executor) recordShed(sh *Shard, s *Session, kind string, at vclock.Dura
 		e.met.AddDeadlineShed(s.Tenant)
 		l.shed++
 		t.shed++
+	case "quarantine":
+		// Deliberately refused traffic: counted, but not into the
+		// rejected/shed load signals — the control plane must not grow
+		// the pool to serve a quarantined attacker.
+		e.met.AddQuarantined(s.Tenant)
 	}
 }
 

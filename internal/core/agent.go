@@ -390,6 +390,11 @@ func (rt *Runtime) restartAgent(a *agent) error {
 	// Old objects are intentionally gone (§6); restore only checkpointed
 	// stateful state, remapping ids.
 	a.mu.Lock()
+	// Ids stay unique across incarnations: the fresh table continues where
+	// the dead one stopped, so a remap entry (old id -> restored id) can
+	// never collide with an id the new incarnation hands out — resolveID
+	// would otherwise misroute fresh refs to restored checkpoints.
+	newCtx.Table.SkipTo(a.ctx.Table.NextID())
 	oldRemap := a.remap
 	oldCanon := a.canon
 	cps := a.checkpoints

@@ -226,6 +226,38 @@ func ChaosShards(reg *framework.Registry, cat *analysis.Categorization, cfg Conf
 	}
 }
 
+// DynamicShards returns a protected-shard factory whose configuration is
+// re-derived on every build: cfgOf is consulted each time a shard (or a
+// replacement) is constructed, so a shard drained and respawned through
+// the failover machinery comes back under whatever configuration — in
+// particular, whatever isolation policy — is current at respawn time.
+// This is the re-bind hook the adaptive defense controller escalates and
+// anneals through (RebindShard). planOf, when non-nil, supplies per-shard
+// per-generation chaos plans exactly as ChaosShards does. With a cfgOf
+// that always returns the same configuration and a nil planOf, the
+// factory builds byte-identical shards to ProtectedShards over that
+// configuration — the defense zero-cost guard pins this down.
+func DynamicShards(reg *framework.Registry, cat *analysis.Categorization, cfgOf func() Config, planOf func(id, gen int) chaos.Plan) ShardFactory {
+	var mu sync.Mutex
+	gens := make(map[int]int)
+	return func(id int) (*Shard, error) {
+		mu.Lock()
+		gen := gens[id]
+		gens[id]++
+		mu.Unlock()
+		c := cfgOf()
+		if planOf != nil {
+			c.Chaos = chaos.New(planOf(id, gen))
+		}
+		k := kernel.New()
+		rt, err := New(k, reg, cat, c)
+		if err != nil {
+			return nil, fmt.Errorf("core: shard %d: %w", id, err)
+		}
+		return &Shard{ID: id, K: k, Ex: rt, Rt: rt}, nil
+	}
+}
+
 // DirectShards returns a factory producing unprotected shards: each shard
 // is a fresh kernel running a Direct monolith. The unprotected comparison
 // point for serving-layer scaling numbers.
@@ -266,7 +298,8 @@ type FailoverEvent struct {
 	Gen   int
 	// Kind is "kill", "drain", "replace", "replace-failed", "migrate",
 	// "migrate-failed" — or a control-plane action: "grow", "shrink",
-	// "rebalance".
+	// "rebalance", "rebind" (defense re-bind drain), "quarantine"
+	// (admission refused for a quarantined tenant).
 	Kind string
 	// Detail carries the reason or subject (session id, error).
 	Detail string
@@ -313,6 +346,7 @@ type Executor struct {
 	events    []FailoverEvent
 	policy    HealthPolicy
 	admit     AdmissionPolicy
+	gate      AdmissionGate
 	onReplace func(*Shard) error
 	place     func(session int, pool []PlacementInfo) int
 	loads     map[int]*shardLoad
@@ -510,6 +544,26 @@ func (e *Executor) killShardLocked(sh *Shard, reason string) {
 	e.recordEvent(sh, "kill", reason)
 }
 
+// RebindShard drains the current incarnation of shard id and respawns it
+// through the regular failover machinery — drain, rebuild via the
+// retained factory, rejoin the virtual timeline, reprovision (OnReplace),
+// migrate every pinned session through the portable checkpoint log —
+// without crashing any of its processes first: the shard is healthy, it
+// is merely bound to the wrong configuration. With a DynamicShards
+// factory the replacement comes up under the configuration current at
+// respawn time, which is how the defense controller moves an API type
+// between isolation tiers at runtime. Intended to be called from a
+// reconcile point (a serving-wave barrier) with no job running on the
+// shard. Idempotent against an already-failed shard.
+func (e *Executor) RebindShard(id int, reason string) error {
+	sh := e.Shard(id)
+	if !sh.fail("rebind: " + reason) {
+		return nil
+	}
+	e.recordEvent(sh, "rebind", reason)
+	return e.failover(sh)
+}
+
 // applyScheduledKill fires a pending scheduled kill once the shard clock
 // has reached it. Caller holds sh.mu.
 func (e *Executor) applyScheduledKill(sh *Shard) {
@@ -556,6 +610,8 @@ func (e *Executor) recordEvent(sh *Shard, kind, detail string) {
 		e.met.AddScaleDown()
 	case "rebalance":
 		e.met.AddRebalance()
+	case "rebind":
+		e.met.AddRebind()
 	}
 }
 
@@ -1261,6 +1317,16 @@ func (s *Session) runLocked(sh *Shard, arrival *vclock.Duration, job func(sh *Sh
 	now := sh.K.Clock.Now()
 	if *arrival < 0 {
 		*arrival = now
+	}
+	if g := e.admissionGate(); g != nil {
+		// Defense gate: a quarantined tenant's request is refused before
+		// any overload accounting, as pure as a shed — no clock advance,
+		// no checkpoint, no chaos draw.
+		if gerr := g(s.Tenant, s.ID); gerr != nil {
+			e.recordShed(sh, s, "quarantine", *arrival,
+				fmt.Sprintf("tenant %d session %d: %v", s.Tenant, s.ID, gerr))
+			return true, gerr
+		}
 	}
 	apol := e.admission()
 	if apol.active() {

@@ -89,6 +89,53 @@ func (p *Policy) HasTier(tier Tier) bool {
 	return false
 }
 
+// Clone returns an independent deep copy of the policy. A nil policy
+// clones to nil (the all-process default needs no storage to stay the
+// all-process default).
+func (p *Policy) Clone() *Policy {
+	if p == nil {
+		return nil
+	}
+	tiers := make(map[framework.APIType]Tier, len(p.Tiers))
+	for t, tier := range p.Tiers {
+		tiers[t] = tier
+	}
+	return &Policy{Name: p.Name, Tiers: tiers}
+}
+
+// WithTier returns a copy of the policy with API type t reassigned to
+// tier. The receiver is never mutated, so a caller holding the original
+// (the annealing floor, a replay baseline) keeps exactly what it had.
+// On a nil policy the copy starts from the all-process default over the
+// concrete types, so TierOf stays consistent for every other type.
+func (p *Policy) WithTier(t framework.APIType, tier Tier) *Policy {
+	var out *Policy
+	if p == nil {
+		out = uniform("", TierProcess)
+	} else {
+		out = p.Clone()
+		if out.Tiers == nil {
+			out.Tiers = make(map[framework.APIType]Tier)
+		}
+	}
+	out.Tiers[t] = tier
+	return out
+}
+
+// Equal reports whether two policies assign the same tier to every
+// concrete API type. Names are ignored: equality is about effective
+// isolation, and absent assignments compare as TierProcess exactly as
+// TierOf resolves them — so an escalate-then-anneal round trip that
+// restores every assignment compares equal to the original policy.
+func (p *Policy) Equal(q *Policy) bool {
+	for _, t := range framework.ConcreteTypes() {
+		if p.TierOf(t) != q.TierOf(t) {
+			return false
+		}
+	}
+	return true
+}
+
 // uniform builds a policy assigning one tier to every concrete API type.
 func uniform(name string, tier Tier) *Policy {
 	tiers := make(map[framework.APIType]Tier)

@@ -69,6 +69,65 @@ func TestHasTier(t *testing.T) {
 	}
 }
 
+func TestHasTierEmptyAndPartial(t *testing.T) {
+	// An empty Tiers map resolves every type to process, so process is the
+	// only tier the policy "has".
+	empty := &Policy{Name: "empty"}
+	if !empty.HasTier(TierProcess) {
+		t.Fatal("empty policy must report the process tier")
+	}
+	if empty.HasTier(TierDomain) || empty.HasTier(TierHost) {
+		t.Fatal("empty policy has no explicit tiers")
+	}
+	partial := &Policy{Name: "partial", Tiers: map[framework.APIType]Tier{framework.TypeVisualizing: TierDomain}}
+	if !partial.HasTier(TierDomain) {
+		t.Fatal("partial policy must report its explicit domain tier")
+	}
+	if !partial.HasTier(TierProcess) {
+		t.Fatal("partial policy must report process for its unmapped types")
+	}
+	if partial.HasTier(TierHost) {
+		t.Fatal("partial policy never assigns host")
+	}
+}
+
+func TestWithTierEscalateAnnealRoundTrip(t *testing.T) {
+	// The adaptive defense loop escalates with WithTier and anneals back;
+	// the round trip must restore Equal-ity with the floor without ever
+	// mutating it.
+	floor := ERIM()
+	esc := floor.WithTier(framework.TypeLoading, TierProcess)
+	if floor.TierOf(framework.TypeLoading) != TierDomain {
+		t.Fatal("WithTier mutated its receiver")
+	}
+	if esc.Equal(floor) {
+		t.Fatal("escalated policy must not compare equal to the floor")
+	}
+	if got := esc.TierOf(framework.TypeLoading); got != TierProcess {
+		t.Fatalf("escalated tier = %v, want process", got)
+	}
+	back := esc.WithTier(framework.TypeLoading, TierDomain)
+	if !back.Equal(floor) {
+		t.Fatal("escalate-then-anneal round trip must restore equality")
+	}
+
+	// A nil receiver starts the copy from the all-process default so the
+	// other types keep resolving consistently.
+	var nilPol *Policy
+	m := nilPol.WithTier(framework.TypeStoring, TierHost)
+	if got := m.TierOf(framework.TypeStoring); got != TierHost {
+		t.Fatalf("nil WithTier assigned %v, want host", got)
+	}
+	if got := m.TierOf(framework.TypeLoading); got != TierProcess {
+		t.Fatalf("nil WithTier left %v for unmapped types, want process", got)
+	}
+
+	// Equal ignores names and treats absent assignments as process.
+	if !(&Policy{Name: "anything"}).Equal(Paper()) {
+		t.Fatal("absent assignments must compare as process-tier")
+	}
+}
+
 func TestByNameAndNames(t *testing.T) {
 	for _, name := range Names() {
 		p, ok := ByName(name)

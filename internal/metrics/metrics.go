@@ -49,6 +49,10 @@ type Counters struct {
 	domainCopyBytes  uint64
 	domainGrants     uint64
 	domainGrantBytes uint64
+
+	watchdogTrips uint64
+	rebinds       uint64
+	quarantined   uint64
 }
 
 // TenantCounts is one tenant's share of the serving outcome: invocations
@@ -131,6 +135,19 @@ type Snapshot struct {
 	// (the MPK analogue of lazy data copy).
 	DomainGrants     uint64
 	DomainGrantBytes uint64
+
+	// WatchdogTrips counts DoS resource-watchdog reports: domain- or
+	// host-tier invocations that killed the host process or overran their
+	// virtual-time budget. Detection, not containment — the invocation
+	// already ran; the defense controller reacts to the report.
+	WatchdogTrips uint64
+	// Rebinds counts shards drained and respawned purely to move them onto
+	// a changed isolation policy (defense escalation or annealing) — a
+	// subset of ShardDrains.
+	Rebinds uint64
+	// Quarantined counts admissions refused because the requesting tenant
+	// was quarantined by the defense controller.
+	Quarantined uint64
 }
 
 // New creates zeroed counters.
@@ -344,6 +361,31 @@ func (c *Counters) AddDomainGrant(n int) {
 	}
 }
 
+// AddWatchdogTrip records one DoS resource-watchdog report.
+func (c *Counters) AddWatchdogTrip() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.watchdogTrips++
+}
+
+// AddRebind records one shard drained to re-bind it at a changed
+// isolation policy.
+func (c *Counters) AddRebind() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.rebinds++
+}
+
+// AddQuarantined records one admission refused for a quarantined tenant t.
+func (c *Counters) AddQuarantined(t int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.quarantined++
+	tc := c.tenantLocked(t)
+	tc.Shed++
+	c.tenants[t] = tc
+}
+
 // AddTenantServed records one cleanly completed invocation for tenant t.
 func (c *Counters) AddTenantServed(t int) {
 	c.mu.Lock()
@@ -382,6 +424,8 @@ func (c *Counters) Snapshot() Snapshot {
 		DomainSwitches: c.domainSwitches,
 		DomainCopies:   c.domainCopies, DomainCopyBytes: c.domainCopyBytes,
 		DomainGrants: c.domainGrants, DomainGrantBytes: c.domainGrantBytes,
+		WatchdogTrips: c.watchdogTrips, Rebinds: c.rebinds,
+		Quarantined: c.quarantined,
 	}
 }
 

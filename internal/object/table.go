@@ -115,6 +115,26 @@ func (t *Table) Clear() {
 	t.objs = make(map[uint64]Object)
 }
 
+// NextID reports the id the allocator would hand out next.
+func (t *Table) NextID() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.nextID
+}
+
+// SkipTo advances the allocator so ids below id are never handed out.
+// Restart paths use it to keep object ids unique across process
+// incarnations: if a fresh incarnation's table reused ids the previous one
+// published in refs, the post-restart remap table would misroute the new
+// incarnation's refs to restored checkpoints of unrelated objects.
+func (t *Table) SkipTo(id uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id > t.nextID {
+		t.nextID = id
+	}
+}
+
 // RefFor builds a cross-process Ref for a registered object.
 func (t *Table) RefFor(id uint64) (Ref, error) {
 	o, ok := t.Get(id)

@@ -33,6 +33,13 @@ type IsolationCVEOutcome struct {
 	// critical data intact (mem write), nothing on the wire (mem read),
 	// host alive (DoS), code pages intact (RCE).
 	Blocked bool `json:"blocked"`
+	// Detected reports whether the attack was at least observed: either
+	// contained outright (every blocked attack is a detection — the key
+	// fault, seccomp kill, or agent crash is the signal), or flagged by
+	// the DoS resource watchdog when a domain- or host-tier invocation
+	// killed the host. The imshow DoS escapes the tiered preset's domain
+	// tier (Blocked false) but no longer escapes silently (Detected true).
+	Detected bool `json:"detected"`
 }
 
 // IsolationResult is one row of the blocked-CVEs-vs-overhead frontier: one
@@ -40,9 +47,12 @@ type IsolationCVEOutcome struct {
 type IsolationResult struct {
 	// Policy is the preset name (paper / tiered / erim / none).
 	Policy string `json:"policy"`
-	// Blocked counts CVEs the policy contained, out of Total.
-	Blocked int `json:"blocked"`
-	Total   int `json:"total"`
+	// Blocked counts CVEs the policy contained, out of Total; Detected
+	// counts CVEs at least observed (blocked, or caught by the DoS
+	// resource watchdog).
+	Blocked  int `json:"blocked"`
+	Detected int `json:"detected"`
+	Total    int `json:"total"`
 	// CriticalPath is the serving probe's max-merged virtual time across
 	// shards: the full detection pipeline (load, detect, annotate, show,
 	// store) over a fixed request stream.
@@ -70,19 +80,23 @@ func MeasureIsolation(shards, requests int) ([]IsolationResult, error) {
 	for _, pol := range isolation.Presets() {
 		res := IsolationResult{Policy: pol.Name, Total: len(cves)}
 		for _, cve := range cves {
-			blocked, err := replayIsolationCVE(cat, pol, cve)
+			blocked, detected, err := replayIsolationCVE(cat, pol, cve)
 			if err != nil {
 				return nil, fmt.Errorf("report: %s under %s: %w", cve.ID, pol.Name, err)
 			}
 			if blocked {
 				res.Blocked++
 			}
+			if detected {
+				res.Detected++
+			}
 			res.CVEs = append(res.CVEs, IsolationCVEOutcome{
-				CVE:     cve.ID,
-				API:     cve.API,
-				Class:   cve.Class.String(),
-				Tier:    pol.TierOf(cve.APIType).String(),
-				Blocked: blocked,
+				CVE:      cve.ID,
+				API:      cve.API,
+				Class:    cve.Class.String(),
+				Tier:     pol.TierOf(cve.APIType).String(),
+				Blocked:  blocked,
+				Detected: detected,
 			})
 		}
 		crit, switches, copies, err := isolationServing(reg, cat, pol, shards, requests)
@@ -115,11 +129,17 @@ func MeasureIsolation(shards, requests int) ([]IsolationResult, error) {
 // process: a critical secret (registered, so MPK policies tag it with the
 // host-critical key) and an r-x code region (deliberately untagged — MPK
 // does not stop an in-process mprotect, and the verdict must show that).
-func replayIsolationCVE(cat *analysis.Categorization, pol *isolation.Policy, cve attack.CVE) (bool, error) {
+func replayIsolationCVE(cat *analysis.Categorization, pol *isolation.Policy, cve attack.CVE) (blocked, detected bool, err error) {
 	k := kernel.New()
-	rt, err := core.New(k, all.Registry(), cat, core.ConfigForIsolation(pol))
+	// The DoS resource watchdog observes domain- and host-tier invocations
+	// that kill the host: pure observation (no clock advance), so the
+	// verdicts are exactly those of a watchdog-less run.
+	var watchdog bool
+	cfg := core.ConfigForIsolation(pol)
+	cfg.OnAnomaly = func(framework.APIType, string, string, string) { watchdog = true }
+	rt, err := core.New(k, all.Registry(), cat, cfg)
 	if err != nil {
-		return false, err
+		return false, false, err
 	}
 	defer rt.Close()
 	log := &attack.Log{}
@@ -127,23 +147,23 @@ func replayIsolationCVE(cat *analysis.Categorization, pol *isolation.Policy, cve
 
 	crit, err := rt.Host.Space().Alloc(32)
 	if err != nil {
-		return false, err
+		return false, false, err
 	}
 	if err := rt.Host.Space().Store(crit.Base, []byte("sensitive")); err != nil {
-		return false, err
+		return false, false, err
 	}
 	rt.RegisterCritical(crit)
 
 	code, err := rt.Host.Space().Alloc(64)
 	if err != nil {
-		return false, err
+		return false, false, err
 	}
 	codeBytes := []byte("TRUSTED-CODE-SEG")
 	if err := rt.Host.Space().Store(code.Base, codeBytes); err != nil {
-		return false, err
+		return false, false, err
 	}
 	if _, err := rt.Host.Space().ProtectRegion(code, mem.PermRead|mem.PermExec); err != nil {
-		return false, err
+		return false, false, err
 	}
 
 	var payload []byte
@@ -165,15 +185,19 @@ func replayIsolationCVE(cat *analysis.Categorization, pol *isolation.Policy, cve
 	switch cve.Class {
 	case attack.ClassMemWrite:
 		data, _ := rt.Host.Space().Load(crit.Base, 9)
-		return string(data) == "sensitive", nil
+		blocked = string(data) == "sensitive"
 	case attack.ClassMemRead:
-		return len(k.Net.Sent()) == 0, nil
+		blocked = len(k.Net.Sent()) == 0
 	case attack.ClassRCE:
 		data, _ := rt.Host.Space().Load(code.Base, len(codeBytes))
-		return string(data) == string(codeBytes), nil
+		blocked = string(data) == string(codeBytes)
 	default:
-		return rt.Host.Alive(), nil
+		blocked = rt.Host.Alive()
 	}
+	// Every blocked attack is a detection (its containment mechanism is
+	// the signal); the watchdog adds detection of host-killing DoS that
+	// the tier itself could not contain.
+	return blocked, blocked || watchdog, nil
 }
 
 // driveIsolationCVE feeds the crafted payload into the CVE's vulnerable
@@ -357,14 +381,18 @@ func TableIsolation(jsonPath string) (string, error) {
 	}
 	t := &Table{
 		Title:  "Isolation tiers: blocked CVEs vs serving overhead (18 live exploits, virtual time)",
-		Header: []string{"Policy", "Blocked", "Critical path", "Overhead vs none", "Domain switches", "Domain copies"},
+		Header: []string{"Policy", "Blocked", "Detected", "Critical path", "Overhead vs none", "Domain switches", "Domain copies"},
 	}
 	for _, r := range results {
-		t.Add(r.Policy, fmt.Sprintf("%d/%d", r.Blocked, r.Total), r.CriticalPath.String(),
+		t.Add(r.Policy, fmt.Sprintf("%d/%d", r.Blocked, r.Total), fmt.Sprintf("%d/%d", r.Detected, r.Total),
+			r.CriticalPath.String(),
 			fmt.Sprintf("%+.2f%%", r.OverheadPct), d(int(r.DomainSwitches)), d(int(r.DomainCopies)))
 	}
 	t.Notes = append(t.Notes,
 		"Every CVE is replayed live through its own API site; Blocked counts class verdicts that held.",
+		"Detected adds the resource watchdog: a blocked attack is a detection, and a host-killing DoS that",
+		"  escapes a non-process tier (e.g. the imshow DoS under the tiered preset) now trips the watchdog",
+		"  instead of vanishing silently — raw material for the adaptive defense controller.",
 		"Overhead is the serving critical path (4 shards, 64 full-pipeline requests) vs the in-host baseline.",
 		"The domain tier blocks cross-domain reads/writes but shares the host's fate: DoS and mprotect-based RCE pass.")
 	if jsonPath != "" {
