@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race soak shardsoak autoscalesoak overloadsoak isolationsoak defensesoak bench serving failover autoscale overload isolation defense
+.PHONY: check fmt vet build test race soak shardsoak autoscalesoak overloadsoak isolationsoak defensesoak graysoak bench serving failover autoscale overload isolation defense gray
 
-check: fmt vet build race soak shardsoak autoscalesoak overloadsoak isolationsoak defensesoak
+check: fmt vet build race soak shardsoak autoscalesoak overloadsoak isolationsoak defensesoak graysoak
 
 # gofmt cleanliness gate: fails listing any file that gofmt would rewrite.
 fmt:
@@ -94,6 +94,21 @@ isolation:
 # failover events must replay byte-equal.
 defensesoak:
 	$(GO) test -race -run TestDefenseSoak -count=1 ./internal/chaos/
+
+# Gray-failure soak under the race detector: a crash-looping shard and a
+# slow-but-alive shard in the same 4-shard pool with suspicion scoring and
+# hedging armed; outputs must match the fault-free baseline and injection
+# logs, failover events, suspicion scores, and hedge counters must replay
+# byte-equal.
+graysoak:
+	$(GO) test -race -run TestGraySoak -count=1 ./internal/chaos/
+
+# Gray-failure drill: the detection stream served with one shard alive but
+# 10x slow, unmitigated / drain-only / hedge+drain versus fault-free,
+# written to BENCH_gray.json (p99 frontier, gray drains, hedge counters,
+# extra-work fraction).
+gray:
+	$(GO) run ./cmd/experiments -exp gray -json BENCH_gray.json
 
 # Adaptive-defense drill: the 18-CVE campaign replayed against the four
 # static presets and the adaptive controller (erim floor), written to

@@ -5,14 +5,17 @@
 //	experiments -exp table9      # one experiment
 //	experiments -exp fig4 -samples 50 -sheets 2
 //	experiments -exp fig13 -scale 8
+//	experiments -list            # print the available experiments
 //
 // Experiments: table1..table12, fig4, fig6, fig7, fig13, a14, security,
-// robustness, serving, failover, autoscale, overload, isolation, defense.
+// robustness, serving, failover, autoscale, overload, isolation, defense,
+// gray.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 
@@ -21,12 +24,13 @@ import (
 
 func main() {
 	exp := flag.String("exp", "", "experiment to run (empty = all)")
+	list := flag.Bool("list", false, "print the available experiments, sorted, and exit")
 	samples := flag.Int("samples", 8, "random partitionings per K (fig4/a14)")
 	sheets := flag.Int("sheets", 2, "OMR sheets per measurement run")
 	scale := flag.Int("scale", 8, "input image scale for overhead runs (fig13)")
 	maxK := flag.Int("maxk", 12, "largest partition count in the fig4 sweep")
 	requests := flag.Int("requests", 64, "request-stream length for the serving experiment")
-	jsonOut := flag.String("json", "", "write the serving/failover experiment's rows as JSON to this path")
+	jsonOut := flag.String("json", "", "write the selected bench experiment's rows as JSON to this path")
 	flag.Parse()
 
 	runners := map[string]func() (string, error){
@@ -57,15 +61,18 @@ func main() {
 		"overload":   func() (string, error) { return report.TableOverload(*jsonOut) },
 		"isolation":  func() (string, error) { return report.TableIsolation(*jsonOut) },
 		"defense":    func() (string, error) { return report.TableDefense(*jsonOut) },
+		"gray":       func() (string, error) { return report.TableGray(*requests, *jsonOut) },
 	}
 
+	if *list {
+		printExperiments(os.Stdout, runners)
+		return
+	}
 	if *exp != "" {
 		fn, ok := runners[*exp]
 		if !ok {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q; available:\n", *exp)
-			for _, n := range sortedKeys(runners) {
-				fmt.Fprintf(os.Stderr, "  %s\n", n)
-			}
+			printExperiments(os.Stderr, runners)
 			os.Exit(2)
 		}
 		run(*exp, fn)
@@ -73,6 +80,15 @@ func main() {
 	}
 	for _, name := range sortedKeys(runners) {
 		run(name, runners[name])
+	}
+}
+
+// printExperiments writes the available experiment names, sorted, one per
+// line — the single listing both -list and the unknown -exp error use, so
+// the two can't drift.
+func printExperiments(w io.Writer, m map[string]func() (string, error)) {
+	for _, n := range sortedKeys(m) {
+		fmt.Fprintf(w, "  %s\n", n)
 	}
 }
 

@@ -34,6 +34,14 @@
 // under the named Boundary policy, with the per-tier mechanism costs and
 // the domain switch/copy counters the run generated printed at the end.
 //
+// Pass -slow-shard <id>@<factor> to run the gray-failure act: the named
+// shard stays alive but serves every call factor-times slow. A fault-free
+// pass calibrates the suspicion scorer's service-time baseline and the
+// hedge delay; the degraded pass then serves the same stream with latency
+// scoring and hedged requests armed, and the demo prints the suspicion
+// scores, the drain of the slow shard, the hedge race counters, and what
+// the gray failure added to the p99 latency after mitigation.
+//
 // Pass -defense to run the adaptive-defense act: the pool starts at the
 // cheap erim floor with the defense controller armed, an attacker lands
 // one imread DoS exploit (first sighting: the shard's host dies and fails
@@ -48,6 +56,7 @@
 //	go run ./examples/server
 //	go run ./examples/server -concurrency 4 -requests 64
 //	go run ./examples/server -concurrency 4 -requests 64 -kill-shard 2@1ms
+//	go run ./examples/server -concurrency 4 -requests 64 -slow-shard 2@10
 //	go run ./examples/server -autoscale -concurrency 8
 //	go run ./examples/server -overload 4 -concurrency 4
 //	go run ./examples/server -isolation tiered -concurrency 4
@@ -65,6 +74,7 @@ import (
 
 	"freepart.dev/freepart/internal/analysis"
 	"freepart.dev/freepart/internal/attack"
+	"freepart.dev/freepart/internal/chaos"
 	"freepart.dev/freepart/internal/core"
 	"freepart.dev/freepart/internal/defense"
 	"freepart.dev/freepart/internal/framework"
@@ -84,6 +94,7 @@ func main() {
 	concurrency := flag.Int("concurrency", 4, "runtime shards in the serving pool (the ceiling with -autoscale)")
 	requests := flag.Int("requests", 32, "requests in the serving-mode stream")
 	killShard := flag.String("kill-shard", "", "failover drill: kill shard <id> at virtual time <d> into the run, e.g. 2@1ms")
+	slowShard := flag.String("slow-shard", "", "gray drill: serve with shard <id> alive but <factor>x slow, e.g. 2@10; suspicion scoring and hedging mitigate")
 	autoscale := flag.Bool("autoscale", false, "autoscaling drill: serve the tracking load ramp with the control plane scaling 2..concurrency shards")
 	overload := flag.Int("overload", 0, "overload drill: offer the two-tenant tracking load at this multiple of pool capacity (0 = off)")
 	isolationName := flag.String("isolation", "", "isolation drill: serve under this tier policy (paper|tiered|erim|none; empty = off)")
@@ -102,6 +113,11 @@ func main() {
 	if *killShard != "" {
 		if _, _, err := parseKillSpec(*killShard, *concurrency); err != nil {
 			log.Fatalf("-kill-shard: %v", err)
+		}
+	}
+	if *slowShard != "" {
+		if _, _, err := parseSlowSpec(*slowShard, *concurrency); err != nil {
+			log.Fatalf("-slow-shard: %v", err)
 		}
 	}
 	var pol *isolation.Policy
@@ -125,6 +141,12 @@ func main() {
 	if *overload > 0 {
 		fmt.Printf("=== FreePart overload mode (%d shards, %dx capacity) ===\n", *concurrency, *overload)
 		serveOverload(*concurrency, *overload)
+		return
+	}
+	if *slowShard != "" {
+		id, factor, _ := parseSlowSpec(*slowShard, *concurrency)
+		fmt.Printf("=== FreePart gray-failure mode (%d shards, shard %d at %gx) ===\n", *concurrency, id, factor)
+		serveGray(*concurrency, *requests, id, factor)
 		return
 	}
 	if *autoscale {
@@ -163,6 +185,24 @@ func parseKillSpec(spec string, shards int) (int, vclock.Duration, error) {
 		return 0, 0, fmt.Errorf("bad kill time %q: want a positive duration like 1ms", atPart)
 	}
 	return id, vclock.Duration(at), nil
+}
+
+// parseSlowSpec splits a -slow-shard value of the form "<id>@<factor>",
+// e.g. "2@10": shard 2 stays alive but serves every call ten times slow.
+func parseSlowSpec(spec string, shards int) (int, float64, error) {
+	idPart, facPart, ok := strings.Cut(spec, "@")
+	if !ok {
+		return 0, 0, fmt.Errorf("want <id>@<factor>, e.g. 2@10; got %q", spec)
+	}
+	id, err := strconv.Atoi(idPart)
+	if err != nil || id < 0 || id >= shards {
+		return 0, 0, fmt.Errorf("shard id %q out of range [0,%d)", idPart, shards)
+	}
+	factor, err := strconv.ParseFloat(facPart, 64)
+	if err != nil || factor <= 1 {
+		return 0, 0, fmt.Errorf("bad slowdown %q: want a factor above 1 like 10", facPart)
+	}
+	return id, factor, nil
 }
 
 // request is one user's submission.
@@ -283,6 +323,99 @@ func serveConcurrent(shards, requests int, killSpec string) {
 	}
 }
 
+// serveGray runs the gray-failure act: the same detection stream served
+// twice, first fault-free (calibrating the suspicion scorer's service-time
+// baseline and the hedge delay, no oracle knowledge of the slow slot), then
+// with shard slowID alive but factor-times slow and both mitigations armed.
+// Serving is strictly sequential so drains and hedge races replay
+// byte-equal.
+func serveGray(shards, requests, slowID int, factor float64) {
+	reqs := apps.GenDetectionRequests(11, requests)
+
+	run := func(degrade bool, gray core.GrayPolicy, hedge core.HedgePolicy) *core.Executor {
+		reg := all.Registry()
+		cat := analysis.New(reg, nil).Categorize()
+		planOf := func(id, gen int) chaos.Plan {
+			p := chaos.Plan{Seed: chaos.DerivedSeed(11, id)}
+			if degrade && id == slowID && gen == 0 {
+				// Only generation 0 is gray: a replacement models a fresh
+				// machine taking over the slot.
+				p = p.WithDegrade(chaos.DegradePlan{Factor: factor})
+			}
+			return p
+		}
+		ex, err := core.NewExecutor(shards, core.ChaosShards(reg, cat, core.Default(), planOf))
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv, err := apps.ProvisionDetection(ex)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i := 0; i < ex.Shards(); i++ {
+			ex.Shard(i).K.Clock.Reset()
+		}
+		ex.SetHealthPolicy(core.HealthPolicy{FailThreshold: 1})
+		ex.SetGray(gray)
+		ex.SetHedge(hedge)
+		results := srv.ServeSeq(reqs)
+		fmt.Printf("served %d/%d requests across %d shards\n", apps.Served(results), len(reqs), ex.Shards())
+		return ex
+	}
+
+	// Fault-free calibration pass: an inert scorer (ratio beyond any healthy
+	// deviation) harvests per-shard service-time EWMAs without judging.
+	cal := run(false, core.GrayPolicy{Ratio: 1e9, Baseline: 1}, core.HedgePolicy{})
+	var baseline vclock.Duration
+	for _, g := range cal.GrayScores() {
+		if g.EWMA > baseline {
+			baseline = g.EWMA
+		}
+	}
+	hedgeDelay := core.DeriveHedgeDelay(cal.Latencies(), 95, baseline)
+	baseP99 := cal.Latencies().P99()
+	cal.Close()
+	if baseline <= 0 {
+		log.Fatal("gray calibration produced no service-time baseline")
+	}
+	fmt.Printf("calibrated fault-free: service baseline %v, hedge delay %v, p99 %v\n", baseline, hedgeDelay, baseP99)
+	fmt.Printf("gray drill: shard %d alive but %gx slow, scoring + hedging armed\n", slowID, factor)
+
+	ex := run(true, core.GrayPolicy{Ratio: 3, Baseline: baseline}, core.HedgePolicy{Delay: hedgeDelay})
+	defer ex.Close()
+	for _, ev := range ex.FailoverEventsFor(slowID) {
+		fmt.Printf("  [%v] shard %d gen %d: %s %s\n", ev.At, ev.Shard, ev.Gen, ev.Kind, ev.Detail)
+	}
+	lat := ex.Latencies()
+	fmt.Printf("virtual latency: p50=%v p95=%v p99=%v\n", lat.P50(), lat.P95(), lat.P99())
+	printGraySummary(ex)
+	fmt.Printf("added p99 after mitigation: %v (fault-free %v, gray %v)\n", lat.P99()-baseP99, baseP99, lat.P99())
+}
+
+// printGraySummary appends the gray-failure lines to a serving summary:
+// per-shard suspicion scores and the hedge race counters. It prints nothing
+// when the gray layer never engaged, so acts that don't arm scoring or
+// hedging stay unchanged.
+func printGraySummary(ex *core.Executor) {
+	m := ex.Metrics().Snapshot()
+	scores := ex.GrayScores()
+	active := m.Hedges > 0 || m.GrayDrains > 0
+	for _, g := range scores {
+		if g.Samples > 0 || g.Suspect || g.Drains > 0 {
+			active = true
+		}
+	}
+	if !active {
+		return
+	}
+	fmt.Println("suspicion scores:")
+	for _, g := range scores {
+		fmt.Printf("  %s\n", g)
+	}
+	fmt.Printf("hedges: %d launched, %d won, %d cancelled, %v extra shard time\n",
+		m.Hedges, m.HedgeWins, m.HedgeCancels, m.HedgeWork)
+}
+
 // serveStream provisions a fresh executor, serves reqs, and prints the
 // serving summary. With kill set, the shard killID is scheduled to die at
 // virtual time killAt into the run. Returns the executor (caller closes) and
@@ -326,6 +459,7 @@ func serveStream(shards int, reqs []apps.DetectionRequest, killID int, killAt vc
 		fmt.Printf("critical path: %v (%.1f requests per virtual second, parallelism %.2f)\n",
 			crit, float64(len(reqs))/crit.Seconds(), float64(ex.TotalWork())/float64(crit))
 	}
+	printGraySummary(ex)
 	return ex, lat.P99()
 }
 

@@ -167,6 +167,28 @@ func (srv *DetectionServer) Serve(reqs []DetectionRequest) []DetectionResult {
 	return results
 }
 
+// ServeSeq answers every request strictly sequentially, in request order,
+// on the calling goroutine. Sessions are opened exactly as Serve opens
+// them (request order, round-robin placement), so the only difference is
+// scheduling: no two requests are ever in flight at once. That total order
+// is what the gray-failure campaign and soaks need — with hedging or live
+// pool-median suspicion scoring enabled, shards read each other's state,
+// and only a sequential schedule makes those cross-shard reads (and the
+// chaos draws behind them) a pure function of the request list. The
+// executor spawns no goroutines of its own, so under ServeSeq the entire
+// run is deterministic end to end, cross-shard couplings included.
+func (srv *DetectionServer) ServeSeq(reqs []DetectionRequest) []DetectionResult {
+	sessions := make([]*core.Session, len(reqs))
+	for i := range reqs {
+		sessions[i] = srv.Ex.Session()
+	}
+	results := make([]DetectionResult, len(reqs))
+	for i := range reqs {
+		results[i] = srv.serveOne(sessions[i], i, reqs[i])
+	}
+	return results
+}
+
 // serveOne runs one detection invocation on the request's session shard:
 // store the upload in the shard's filesystem, decode it, detect. The
 // request's arrival stamp feeds the admission path, so its recorded

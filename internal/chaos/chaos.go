@@ -36,10 +36,12 @@ type Event struct {
 	N uint64
 	// At is the virtual time of injection (0 if no clock is bound).
 	At vclock.Duration
-	// Site is the layer: "kernel", "ipc", "mem", or "supervisor".
+	// Site is the layer: "kernel", "ipc", "mem", "supervisor", or
+	// "degrade" (the gray-failure service-time channel).
 	Site string
 	// Kind names the fault: "crash", "transient", "stall", "drop", "dup",
-	// "corrupt", "fault", "degrade".
+	// "corrupt", "fault", "degrade" — or, on the gray-failure site, "slow",
+	// "gray-stall", "brownout".
 	Kind string
 	// Detail identifies the victim (process name, syscall, seq, address).
 	Detail string
@@ -256,6 +258,42 @@ func (e *Engine) messageFault(dir string, seq uint64) ipc.MessageFault {
 		e.record("ipc", "stall", fmt.Sprintf("%s seq %d +%v", dir, seq, ip.Stall))
 	}
 	return f
+}
+
+// ServiceDegradation returns the extra virtual time the gray-failure
+// channel charges for one invocation that started at shard time start and
+// ran for service. The serving executor calls it once per completed
+// invocation and advances the shard clock by the return value, so a
+// degraded shard is alive but slow — the failure mode the crash channels
+// cannot express.
+//
+// Determinism: the persistent and brownout components are pure functions
+// of (start, service); only an intermittent-stall draw consumes the
+// engine's PRNG, and only when StallProb > 0. A zero profile returns 0
+// without taking randomness or logging, so plans without a Degrade profile
+// leave the decision stream — and therefore every existing replay — byte
+// identical.
+func (e *Engine) ServiceDegradation(start, service vclock.Duration) vclock.Duration {
+	d := e.plan.Degrade
+	if !d.active() || service <= 0 {
+		return 0
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var extra vclock.Duration
+	if f := d.factorAt(start); f > 1 {
+		extra = vclock.Duration(float64(service) * (f - 1))
+		kind := "slow"
+		if d.BrownoutSlope > 0 && start > d.BrownoutAfter {
+			kind = "brownout"
+		}
+		e.record("degrade", kind, fmt.Sprintf("service %v x%.2f +%v", service, f, extra))
+	}
+	if d.StallProb > 0 && e.rng.Float64() < d.StallProb {
+		extra += d.Stall
+		e.record("degrade", "gray-stall", fmt.Sprintf("+%v", d.Stall))
+	}
+	return extra
 }
 
 // MemFault decides whether a checked memory access inside procName's space

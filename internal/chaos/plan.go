@@ -45,6 +45,64 @@ type IPCPlan struct {
 	Stall vclock.Duration
 }
 
+// DegradePlan configures the gray-failure channel: a shard that is alive —
+// no crashes, no drops, every call still completes — but slow. The engine
+// inflates the virtual service time of every invocation run on its shard,
+// which is exactly how a gray machine presents to a serving fleet: it
+// passes every crash-window health check while silently poisoning the
+// pool's tail latency. Three profiles compose:
+//
+//   - persistent slowdown: Factor multiplies every invocation's service
+//     time (a thermally throttled or half-broken machine);
+//   - intermittent stalls: with StallProb an invocation is charged Stall
+//     extra virtual time (a flaky disk or GC-pausing neighbour);
+//   - progressive brownout: past BrownoutAfter on the shard clock the
+//     effective factor grows by BrownoutSlope per virtual millisecond (a
+//     machine sliding into failure), capped at MaxFactor.
+//
+// The zero value is inert: no randomness is consumed and no time is
+// charged, so plans without a degradation profile stay byte-identical to
+// the pre-gray engine — the zero-cost guard the gray campaign pins down.
+type DegradePlan struct {
+	// Factor is the persistent service-time multiplier; values <= 1 add
+	// nothing. Factor 10 models the canonical "alive but 10x slow" shard.
+	Factor float64
+	// StallProb is the per-invocation probability of an intermittent stall
+	// charging Stall extra virtual time.
+	StallProb float64
+	// Stall is the virtual time one intermittent stall charges.
+	Stall vclock.Duration
+	// BrownoutAfter is the shard virtual time progressive brownout starts;
+	// meaningful only with BrownoutSlope > 0.
+	BrownoutAfter vclock.Duration
+	// BrownoutSlope grows the effective factor by this much per virtual
+	// millisecond past BrownoutAfter. 0 disables brownout.
+	BrownoutSlope float64
+	// MaxFactor caps the effective factor (brownout included); 0 means
+	// uncapped.
+	MaxFactor float64
+}
+
+// active reports whether the profile charges anything.
+func (d DegradePlan) active() bool {
+	return d.Factor > 1 || d.StallProb > 0 || d.BrownoutSlope > 0
+}
+
+// factorAt returns the effective slowdown multiplier at shard time t.
+func (d DegradePlan) factorAt(t vclock.Duration) float64 {
+	f := d.Factor
+	if f < 1 {
+		f = 1
+	}
+	if d.BrownoutSlope > 0 && t > d.BrownoutAfter {
+		f += d.BrownoutSlope * float64(t-d.BrownoutAfter) / float64(time.Millisecond)
+	}
+	if d.MaxFactor > 0 && f > d.MaxFactor {
+		f = d.MaxFactor
+	}
+	return f
+}
+
 // MemPlan configures spurious memory faults inside agent address spaces.
 type MemPlan struct {
 	// FaultProb is the per-checked-write probability of a spurious fault
@@ -67,6 +125,19 @@ type Plan struct {
 	Kernel       KernelPlan
 	IPC          IPCPlan
 	Mem          MemPlan
+	// Degrade is the gray-failure profile for the shard this plan's engine
+	// is bound to. Unlike the crash channels it is shard-scoped by
+	// construction: factories hand each shard its own plan (ForShard or a
+	// planOf hook), so "shard 2 is 10x slow" is expressed by giving shard
+	// 2's plan a Degrade profile and every other shard a zero one.
+	Degrade DegradePlan
+}
+
+// WithDegrade returns a copy of the plan carrying the given gray-failure
+// profile — the planOf-hook helper for soaks that degrade one shard.
+func (p Plan) WithDegrade(d DegradePlan) Plan {
+	p.Degrade = d
+	return p
 }
 
 // DefaultTargetPrefix marks the processes chaos may touch. Host processes

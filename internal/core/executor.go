@@ -351,6 +351,9 @@ type Executor struct {
 	place     func(session int, pool []PlacementInfo) int
 	loads     map[int]*shardLoad
 	tenants   map[int]*tenantLoad
+	grayp     GrayPolicy
+	hedgep    HedgePolicy
+	grays     map[int]*grayState
 }
 
 // shardLoad accumulates per-pool-slot (shard id, across incarnations)
@@ -404,6 +407,11 @@ type ShardLoad struct {
 	// work is demand the pool had no capacity for.
 	Rejected uint64
 	Shed     uint64
+	// Suspicion and Suspect expose the gray-failure scorer's view of the
+	// current incarnation (zero when scoring is disabled), so the control
+	// plane's barrier log records which shards were under suspicion.
+	Suspicion float64
+	Suspect   bool
 }
 
 // NewExecutor builds an executor over n shards produced by factory. The
@@ -423,6 +431,7 @@ func NewExecutor(n int, factory ShardFactory) (*Executor, error) {
 		killAt:  make(map[int]vclock.Duration),
 		loads:   make(map[int]*shardLoad),
 		tenants: make(map[int]*tenantLoad),
+		grays:   make(map[int]*grayState),
 	}
 	for i := 0; i < n; i++ {
 		sh, err := factory(i)
@@ -612,6 +621,12 @@ func (e *Executor) recordEvent(sh *Shard, kind, detail string) {
 		e.met.AddRebalance()
 	case "rebind":
 		e.met.AddRebind()
+	case "hedge":
+		e.met.AddHedge()
+	case "hedge-win":
+		e.met.AddHedgeWin()
+	case "hedge-cancel":
+		e.met.AddHedgeCancel()
 	}
 }
 
@@ -1072,6 +1087,9 @@ func (e *Executor) ShardLoads() []ShardLoad {
 			out[i].WaitSum, out[i].Waits, out[i].Jobs = l.waitSum, l.waits, l.jobs
 			out[i].Rejected, out[i].Shed = l.rejected, l.shed
 		}
+		if g := e.grays[sh.ID]; g != nil && g.gen == sh.Gen {
+			out[i].Suspicion, out[i].Suspect = g.score, g.suspect
+		}
 	}
 	return out
 }
@@ -1268,8 +1286,23 @@ func (s *Session) DoAt(arrival vclock.Duration, job func(sh *Shard) error) error
 
 	// A negative arrival is a closed-loop request: its stamp resolves at
 	// first admission and carries no client-side deadline, even across
-	// failover retries.
+	// failover retries. Only stamped requests hedge — the same idempotence
+	// rule deadline shedding applies.
 	stamped := arrival >= 0
+	if hp := s.ex.hedgePolicy(); stamped && hp.active() {
+		return s.doHedged(arrival, hp, job)
+	}
+	_, _, _, err := s.runPrimary(&arrival, job, stamped, true)
+	return err
+}
+
+// runPrimary runs one invocation to completion on the session's pinned
+// shard, following failovers, and returns the shard it completed on plus
+// the completion time on that shard's clock and the service time alone.
+// recordLat controls whether the completion records a latency sample — the
+// hedged path defers that to the race winner. Caller holds a worker-pool
+// slot.
+func (s *Session) runPrimary(arrival *vclock.Duration, job func(sh *Shard) error, stamped, recordLat bool) (*Shard, vclock.Duration, vclock.Duration, error) {
 	for {
 		sh := s.currentShard()
 		sh.mu.Lock()
@@ -1278,11 +1311,11 @@ func (s *Session) DoAt(arrival vclock.Duration, job func(sh *Shard) error) error
 			sh.mu.Unlock()
 			continue
 		}
-		done, err := s.runLocked(sh, &arrival, job, stamped)
+		done, end, svc, err := s.runLocked(sh, arrival, job, stamped, recordLat)
 		failed := sh.Failed()
 		sh.mu.Unlock()
 		if done {
-			return err
+			return sh, end, svc, err
 		}
 		if failed {
 			// The shard was lost — already at admission, or under this
@@ -1290,7 +1323,7 @@ func (s *Session) DoAt(arrival vclock.Duration, job func(sh *Shard) error) error
 			// retry keeps the original arrival, so failover time lands in
 			// the tail percentiles.
 			if ferr := s.ex.failover(sh); ferr != nil {
-				return ferr
+				return nil, 0, 0, ferr
 			}
 		}
 	}
@@ -1302,8 +1335,12 @@ func (s *Session) DoAt(arrival vclock.Duration, job func(sh *Shard) error) error
 // it died under this invocation. *arrival resolves to "now" on first
 // admission when negative and is kept across retries; stamped records
 // whether the request carried a client arrival (closed-loop requests are
-// exempt from deadline shedding).
-func (s *Session) runLocked(sh *Shard, arrival *vclock.Duration, job func(sh *Shard) error, stamped bool) (bool, error) {
+// exempt from deadline shedding). recordLat controls whether the completion
+// records a latency sample (the hedged path records only the race winner);
+// end is the completion time on sh's clock, degradation included, and svc
+// the service time alone (end minus service start, no queue wait) — the
+// shard-attributable latency the hedge trigger gates on.
+func (s *Session) runLocked(sh *Shard, arrival *vclock.Duration, job func(sh *Shard) error, stamped, recordLat bool) (done bool, end, svc vclock.Duration, err error) {
 	e := s.ex
 	e.applyScheduledKill(sh)
 	pol := e.healthPolicy()
@@ -1311,7 +1348,7 @@ func (s *Session) runLocked(sh *Shard, arrival *vclock.Duration, job func(sh *Sh
 		sh.fail("partition degraded to in-host execution")
 	}
 	if sh.Failed() {
-		return false, nil
+		return false, 0, 0, nil
 	}
 
 	now := sh.K.Clock.Now()
@@ -1325,7 +1362,7 @@ func (s *Session) runLocked(sh *Shard, arrival *vclock.Duration, job func(sh *Sh
 		if gerr := g(s.Tenant, s.ID); gerr != nil {
 			e.recordShed(sh, s, "quarantine", *arrival,
 				fmt.Sprintf("tenant %d session %d: %v", s.Tenant, s.ID, gerr))
-			return true, gerr
+			return true, now, 0, gerr
 		}
 	}
 	apol := e.admission()
@@ -1335,7 +1372,7 @@ func (s *Session) runLocked(sh *Shard, arrival *vclock.Duration, job func(sh *Sh
 		// chaos draws are untouched, so shedding never perturbs the
 		// replayable logs of the work that was admitted.
 		if shed, serr := e.shedLocked(sh, s, *arrival, now, apol, stamped); shed {
-			return true, serr
+			return true, now, 0, serr
 		}
 	}
 	wait := vclock.Duration(0)
@@ -1344,32 +1381,45 @@ func (s *Session) runLocked(sh *Shard, arrival *vclock.Duration, job func(sh *Sh
 	} else {
 		wait = now - *arrival
 	}
+	svcStart := sh.K.Clock.Now()
 	if sh.Rt != nil {
 		sh.Rt.SetSessionScope(s.ID)
 	}
-	err := job(sh)
+	jerr := job(sh)
 	if sh.Rt != nil {
 		sh.Rt.SetSessionScope(-1)
 	}
-	end := sh.K.Clock.Now()
+	end = sh.K.Clock.Now()
+	// Gray-failure channel: a degraded shard completes the work but takes
+	// longer — the engine inflates this invocation's virtual service time
+	// without failing anything, which is what makes the failure gray.
+	if eng := sh.Chaos(); eng != nil {
+		if extra := eng.ServiceDegradation(svcStart, end-svcStart); extra > 0 {
+			sh.K.Clock.Advance(extra)
+			end = sh.K.Clock.Now()
+		}
+	}
 	sh.jobs++
 
-	crashed := isCrashClass(err, sh)
+	crashed := isCrashClass(jerr, sh)
 	if crashed && pol.FailThreshold > 0 {
 		if n := sh.recordFailure(end, pol.FailWindow); n >= pol.FailThreshold {
 			sh.fail(fmt.Sprintf("%d crash-class failures in window", n))
 		}
 	}
 	if crashed && sh.Failed() {
-		return false, nil
+		return false, 0, 0, nil
 	}
 	if apol.active() {
 		sh.noteEnd(end)
 	}
-	e.lat.Add(end - *arrival)
+	if recordLat {
+		e.lat.Add(end - *arrival)
+	}
 	e.queue.Add(wait)
-	e.noteWait(sh.ID, s, wait, err != nil)
-	return true, err
+	e.noteWait(sh.ID, s, wait, jerr != nil)
+	e.observeService(sh, end-svcStart, end)
+	return true, end, end - svcStart, jerr
 }
 
 // BatchEntry is one invocation inside a coalesced admission batch.
@@ -1423,7 +1473,7 @@ func (e *Executor) DoBatch(entries []BatchEntry) []error {
 			if en.Session.currentShard() != sh {
 				break
 			}
-			done, err := en.Session.runLocked(sh, &en.Arrival, en.Job, stamped[next])
+			done, _, _, err := en.Session.runLocked(sh, &en.Arrival, en.Job, stamped[next], true)
 			if !done {
 				break
 			}

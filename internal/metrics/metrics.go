@@ -53,6 +53,12 @@ type Counters struct {
 	watchdogTrips uint64
 	rebinds       uint64
 	quarantined   uint64
+
+	grayDrains   uint64
+	hedges       uint64
+	hedgeWins    uint64
+	hedgeCancels uint64
+	hedgeWork    vclock.Duration
 }
 
 // TenantCounts is one tenant's share of the serving outcome: invocations
@@ -148,6 +154,22 @@ type Snapshot struct {
 	// Quarantined counts admissions refused because the requesting tenant
 	// was quarantined by the defense controller.
 	Quarantined uint64
+
+	// GrayDrains counts shards drained by the latency-based suspicion
+	// scorer — shards that never tripped a crash window but whose service
+	// times marked them gray. A subset of ShardDrains.
+	GrayDrains uint64
+	// Hedges counts secondary requests launched because the primary's
+	// virtual completion overran the hedge delay; HedgeWins counts hedges
+	// whose completion beat the primary's, HedgeCancels counts hedges the
+	// primary beat (the loser is cancelled but its work stays charged).
+	Hedges       uint64
+	HedgeWins    uint64
+	HedgeCancels uint64
+	// HedgeWork is the total virtual service time spent on hedge
+	// executions — the extra-work numerator of the gray campaign's
+	// bounded-overhead claim (divide by Executor.TotalWork).
+	HedgeWork vclock.Duration
 }
 
 // New creates zeroed counters.
@@ -386,6 +408,44 @@ func (c *Counters) AddQuarantined(t int) {
 	c.tenants[t] = tc
 }
 
+// AddGrayDrain records one shard drained on latency suspicion.
+func (c *Counters) AddGrayDrain() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.grayDrains++
+}
+
+// AddHedge records one hedged secondary launched.
+func (c *Counters) AddHedge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.hedges++
+}
+
+// AddHedgeWin records one hedge that completed before its primary.
+func (c *Counters) AddHedgeWin() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.hedgeWins++
+}
+
+// AddHedgeCancel records one hedge cancelled because the primary won.
+func (c *Counters) AddHedgeCancel() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.hedgeCancels++
+}
+
+// AddHedgeWork records d of virtual service time spent on a hedge
+// execution (charged whether or not the hedge won).
+func (c *Counters) AddHedgeWork(d vclock.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if d > 0 {
+		c.hedgeWork += d
+	}
+}
+
 // AddTenantServed records one cleanly completed invocation for tenant t.
 func (c *Counters) AddTenantServed(t int) {
 	c.mu.Lock()
@@ -426,6 +486,9 @@ func (c *Counters) Snapshot() Snapshot {
 		DomainGrants: c.domainGrants, DomainGrantBytes: c.domainGrantBytes,
 		WatchdogTrips: c.watchdogTrips, Rebinds: c.rebinds,
 		Quarantined: c.quarantined,
+		GrayDrains:  c.grayDrains,
+		Hedges:      c.hedges, HedgeWins: c.hedgeWins,
+		HedgeCancels: c.hedgeCancels, HedgeWork: c.hedgeWork,
 	}
 }
 

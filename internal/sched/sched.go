@@ -303,6 +303,15 @@ func (c *Controller) Tick() {
 		now = c.ex.CriticalPath()
 	}
 	c.lastNow.Store(int64(now))
+	// Gray-failure visibility: shards the executor's suspicion scorer holds
+	// suspect this barrier land in the sched event log, so the control
+	// plane's replayable history records which shards were under suspicion
+	// at each reconcile point.
+	for _, l := range loads {
+		if l.Suspect {
+			c.record(now, "suspect", fmt.Sprintf("shard %d suspicion %.1f", l.ID, l.Suspicion))
+		}
+	}
 	poolMean := vclock.Duration(0)
 	if totN > 0 {
 		poolMean = totSum / vclock.Duration(totN)
