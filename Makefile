@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race soak shardsoak autoscalesoak overloadsoak isolationsoak defensesoak graysoak bench serving failover autoscale overload isolation defense gray
+.PHONY: check fmt vet build test race soak shardsoak autoscalesoak overloadsoak isolationsoak defensesoak graysoak partitionsoak bench serving failover autoscale overload isolation defense gray partition
 
-check: fmt vet build race soak shardsoak autoscalesoak overloadsoak isolationsoak defensesoak graysoak
+check: fmt vet build race soak shardsoak autoscalesoak overloadsoak isolationsoak defensesoak graysoak partitionsoak
 
 # gofmt cleanliness gate: fails listing any file that gofmt would rewrite.
 fmt:
@@ -109,6 +109,21 @@ graysoak:
 # extra-work fraction).
 gray:
 	$(GO) run ./cmd/experiments -exp gray -json BENCH_gray.json
+
+# Partition soak under the race detector: a Zipf-keyed stream over a
+# range-partitioned keyed plane with one shard crash-looping and a hot-range
+# split drill mid-window; results, placement memory, partition metadata,
+# injection logs, failover events, and metrics must replay byte-equal, and
+# the zero-cost guard must hold the disabled plane bit-identical.
+partitionsoak:
+	$(GO) test -race -run 'TestPartitionSoak|TestPartitionZeroCost' -count=1 ./internal/chaos/
+
+# Partition drill: the Zipf visit stream under round-robin / locality /
+# partition-aware placement, plus the hot-range melt with and without the
+# load-median rebalance, written to BENCH_partition.json (warm-hit ratios,
+# p50/p99, sessions moved, split key).
+partition:
+	$(GO) run ./cmd/experiments -exp partition -json BENCH_partition.json
 
 # Adaptive-defense drill: the 18-CVE campaign replayed against the four
 # static presets and the adaptive controller (erim floor), written to

@@ -9,7 +9,7 @@
 //
 // Experiments: table1..table12, fig4, fig6, fig7, fig13, a14, security,
 // robustness, serving, failover, autoscale, overload, isolation, defense,
-// gray.
+// gray, partition.
 package main
 
 import (
@@ -33,36 +33,10 @@ func main() {
 	jsonOut := flag.String("json", "", "write the selected bench experiment's rows as JSON to this path")
 	flag.Parse()
 
-	runners := map[string]func() (string, error){
-		"table1":     report.Table1,
-		"table2":     report.Table2,
-		"table3":     report.Table3,
-		"table4":     report.Table4,
-		"table5":     report.Table5,
-		"table6":     report.Table6,
-		"table7":     report.Table7,
-		"table8":     report.Table8,
-		"table9":     func() (string, error) { return report.Table9(*sheets) },
-		"table10":    report.Table10,
-		"table11":    report.Table11,
-		"table12":    report.Table12,
-		"fig4":       func() (string, error) { return report.Fig4(4, *maxK, *samples, *sheets) },
-		"fig6":       report.Fig6,
-		"fig7":       report.Fig7,
-		"fig12":      report.Fig12,
-		"fig13":      func() (string, error) { return report.Fig13(*scale) },
-		"ablation":   func() (string, error) { return report.Ablation(*sheets) },
-		"a14":        func() (string, error) { return report.A14(*samples, *sheets) },
-		"security":   report.SecurityMatrix,
-		"robustness": func() (string, error) { return report.TableRobustness(5, *sheets) },
-		"serving":    func() (string, error) { return report.TableServing(*requests, *jsonOut) },
-		"failover":   func() (string, error) { return report.TableFailover(*requests, *jsonOut) },
-		"autoscale":  func() (string, error) { return report.TableAutoscale(*jsonOut) },
-		"overload":   func() (string, error) { return report.TableOverload(*jsonOut) },
-		"isolation":  func() (string, error) { return report.TableIsolation(*jsonOut) },
-		"defense":    func() (string, error) { return report.TableDefense(*jsonOut) },
-		"gray":       func() (string, error) { return report.TableGray(*requests, *jsonOut) },
-	}
+	runners := buildRunners(runnerOpts{
+		samples: *samples, sheets: *sheets, scale: *scale, maxK: *maxK,
+		requests: *requests, jsonOut: *jsonOut,
+	})
 
 	if *list {
 		printExperiments(os.Stdout, runners)
@@ -80,6 +54,48 @@ func main() {
 	}
 	for _, name := range sortedKeys(runners) {
 		run(name, runners[name])
+	}
+}
+
+// runnerOpts carries the flag values the parameterized experiments need.
+type runnerOpts struct {
+	samples, sheets, scale, maxK, requests int
+	jsonOut                                string
+}
+
+// buildRunners is the single registry of experiments, shared by -list, -exp
+// dispatch, and the run-everything default.
+func buildRunners(o runnerOpts) map[string]func() (string, error) {
+	return map[string]func() (string, error){
+		"table1":     report.Table1,
+		"table2":     report.Table2,
+		"table3":     report.Table3,
+		"table4":     report.Table4,
+		"table5":     report.Table5,
+		"table6":     report.Table6,
+		"table7":     report.Table7,
+		"table8":     report.Table8,
+		"table9":     func() (string, error) { return report.Table9(o.sheets) },
+		"table10":    report.Table10,
+		"table11":    report.Table11,
+		"table12":    report.Table12,
+		"fig4":       func() (string, error) { return report.Fig4(4, o.maxK, o.samples, o.sheets) },
+		"fig6":       report.Fig6,
+		"fig7":       report.Fig7,
+		"fig12":      report.Fig12,
+		"fig13":      func() (string, error) { return report.Fig13(o.scale) },
+		"ablation":   func() (string, error) { return report.Ablation(o.sheets) },
+		"a14":        func() (string, error) { return report.A14(o.samples, o.sheets) },
+		"security":   report.SecurityMatrix,
+		"robustness": func() (string, error) { return report.TableRobustness(5, o.sheets) },
+		"serving":    func() (string, error) { return report.TableServing(o.requests, o.jsonOut) },
+		"failover":   func() (string, error) { return report.TableFailover(o.requests, o.jsonOut) },
+		"autoscale":  func() (string, error) { return report.TableAutoscale(o.jsonOut) },
+		"overload":   func() (string, error) { return report.TableOverload(o.jsonOut) },
+		"isolation":  func() (string, error) { return report.TableIsolation(o.jsonOut) },
+		"defense":    func() (string, error) { return report.TableDefense(o.jsonOut) },
+		"gray":       func() (string, error) { return report.TableGray(o.requests, o.jsonOut) },
+		"partition":  func() (string, error) { return report.TablePartition(o.jsonOut) },
 	}
 }
 

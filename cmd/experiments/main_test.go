@@ -1,0 +1,45 @@
+package main
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+// experimentRunners builds the real runner registry with default options.
+func experimentRunners() map[string]func() (string, error) {
+	return buildRunners(runnerOpts{samples: 8, sheets: 2, scale: 8, maxK: 12, requests: 64})
+}
+
+// TestListIncludesPartition pins the -list output: the partition experiment
+// is registered and the listing is sorted, one name per line.
+func TestListIncludesPartition(t *testing.T) {
+	var b strings.Builder
+	printExperiments(&b, experimentRunners())
+	out := b.String()
+	if !strings.Contains(out, "  partition\n") {
+		t.Fatalf("-list output lacks the partition experiment:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	for i, l := range lines {
+		lines[i] = strings.TrimSpace(l)
+	}
+	if len(lines) != len(experimentRunners()) {
+		t.Fatalf("listing has %d lines, want %d", len(lines), len(experimentRunners()))
+	}
+	if !sort.StringsAreSorted(lines) {
+		t.Fatalf("listing is not sorted:\n%s", out)
+	}
+}
+
+// TestSortedKeysOrder pins the helper both -list and the unknown -exp error
+// path rely on.
+func TestSortedKeysOrder(t *testing.T) {
+	keys := sortedKeys(experimentRunners())
+	if !sort.StringsAreSorted(keys) {
+		t.Fatalf("sortedKeys returned unsorted keys: %v", keys)
+	}
+	if len(keys) != len(experimentRunners()) {
+		t.Fatalf("sortedKeys lost entries: %d vs %d", len(keys), len(experimentRunners()))
+	}
+}

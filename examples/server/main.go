@@ -42,6 +42,17 @@
 // scores, the drain of the slow shard, the hedge race counters, and what
 // the gray failure added to the p99 latency after mitigation.
 //
+// Pass -partitions <n> to run the partition-plane act: a Zipf-skewed
+// population of returning users (skew set by -zipf) served on a
+// range-partitioned keyed data plane with placement memory. The first pass
+// shows the melt — every partition prefers its home shard, so the Zipf
+// head's range concentrates its mass on one shard and queues. The second
+// pass serves the same stream but stages a mid-window rebalance drill:
+// split the hot partition at its observed load midpoint, migrate the upper
+// half's live sessions to the coldest shard, and revoke the moved range's
+// stale placement traces. The demo prints the warm-hit ratios, both latency
+// distributions, and verifies the drill changed no served byte.
+//
 // Pass -defense to run the adaptive-defense act: the pool starts at the
 // cheap erim floor with the defense controller armed, an attacker lands
 // one imread DoS exploit (first sighting: the shard's host dies and fails
@@ -61,6 +72,7 @@
 //	go run ./examples/server -overload 4 -concurrency 4
 //	go run ./examples/server -isolation tiered -concurrency 4
 //	go run ./examples/server -defense -concurrency 4
+//	go run ./examples/server -partitions 4 -zipf 1.2
 package main
 
 import (
@@ -82,6 +94,7 @@ import (
 	"freepart.dev/freepart/internal/framework/simcv"
 	"freepart.dev/freepart/internal/isolation"
 	"freepart.dev/freepart/internal/kernel"
+	"freepart.dev/freepart/internal/partition"
 	"freepart.dev/freepart/internal/report"
 	"freepart.dev/freepart/internal/sched"
 	"freepart.dev/freepart/internal/vclock"
@@ -99,6 +112,8 @@ func main() {
 	overload := flag.Int("overload", 0, "overload drill: offer the two-tenant tracking load at this multiple of pool capacity (0 = off)")
 	isolationName := flag.String("isolation", "", "isolation drill: serve under this tier policy (paper|tiered|erim|none; empty = off)")
 	defenseMode := flag.Bool("defense", false, "adaptive-defense drill: start at the erim floor, escalate/quarantine on attack sightings, anneal back")
+	partitions := flag.Int("partitions", 0, "partition drill: serve a Zipf-keyed stream over this many range partitions and rebalance the hot one mid-window (0 = off)")
+	zipf := flag.Float64("zipf", 1.1, "Zipf skew of the -partitions user population (must exceed 1)")
 	flag.Parse()
 	// Fail bad flags fast, before any demo act runs.
 	if *concurrency < 1 {
@@ -127,6 +142,22 @@ func main() {
 		if !ok {
 			log.Fatalf("-isolation %q: unknown policy; want one of %s", *isolationName, strings.Join(isolation.Names(), "|"))
 		}
+	}
+	if *partitions < 0 {
+		log.Fatalf("-partitions %d: want 0 (off) or a positive partition count", *partitions)
+	}
+	if *partitions > 0 && *zipf <= 1 {
+		log.Fatalf("-zipf %g: the Zipf skew must exceed 1", *zipf)
+	}
+	if *partitions > 0 {
+		shards := *concurrency
+		if shards%2 != 0 {
+			shards++ // the two-socket topology needs pairs
+		}
+		fmt.Printf("=== FreePart partition mode (%d shards, %d partitions, zipf %.2f) ===\n",
+			shards, *partitions, *zipf)
+		servePartition(shards, *requests, *partitions, *zipf)
+		return
 	}
 	if *defenseMode {
 		fmt.Printf("=== FreePart adaptive defense mode (%d shards) ===\n", *concurrency)
@@ -833,4 +864,136 @@ func short(err error) string {
 		s = s[:48] + "..."
 	}
 	return s
+}
+
+// servePartition runs the partition-plane act: a Zipf-skewed population of
+// returning users served on a range-partitioned keyed data plane with
+// placement memory. Pass one (melt) pins every partition to its home shard,
+// so the Zipf head's range concentrates its mass there and queues; pass two
+// serves the identical stream with a mid-window rebalance drill — split the
+// hot partition at its observed load midpoint, migrate the upper half's
+// live resident sessions to the last shard, revoke the moved range's stale
+// traces — and must change no served byte.
+func servePartition(shards, requests, parts int, skew float64) {
+	visits := requests * 20
+	if visits < 400 {
+		visits = 400
+	}
+	users := visits
+	if parts < shards {
+		parts = shards
+	}
+	topo := sched.Topology{ShardsPerSocket: shards / 2}
+	cost := vclock.Default()
+	stream := apps.GenPartitionVisitsSpaced(5, users, visits, skew, 6*time.Microsecond)
+	keys := make([]uint64, len(stream))
+	for i, v := range stream {
+		keys[i] = v.Key
+	}
+	hot := workload.Hottest(keys, 32)
+
+	run := func(drill bool) ([]apps.PartitionResult, *core.Executor, int, uint64) {
+		meta := partition.New(partition.Range, parts, uint64(users))
+		for i := range meta.Parts {
+			meta.Prefer(i, i%shards)
+		}
+		mem := partition.NewMemory()
+		ex, err := core.NewExecutor(shards, core.DirectShards(all.Registry()))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer ex.Close()
+		sched.New(ex, sched.Policy{MinShards: shards, MaxShards: shards},
+			sched.PartitionAware{Meta: meta, Memory: mem, Topo: topo, SpillThreshold: 4 * len(hot)})
+		srv := apps.NewPartitionServer(ex, apps.PartitionConfig{
+			Meta: meta, Memory: mem, Cost: cost,
+			WorkingSet: 32 << 10, Compute: 2 << 10, Class: "visit",
+		})
+		srv.Resident(hot)
+		moved := 0
+		var splitKey uint64
+		drillAt := -1
+		var hook func()
+		if drill {
+			drillAt = len(stream) / 2
+			hook = func() {
+				hp := hottestPartition(meta)
+				p := meta.Parts[hp]
+				splitKey = observedMedian(stream[:drillAt], p.Lo, p.Hi)
+				_, n, derr := sched.RebalancePartitionAt(ex, meta, mem, topo, cost,
+					hp, splitKey, shards-1, 32<<10)
+				if derr != nil {
+					log.Fatalf("rebalance drill: %v", derr)
+				}
+				moved = n
+			}
+		}
+		results := srv.ServeVisits(stream, drillAt, hook)
+		srv.FinishResident()
+		lat := ex.Latencies()
+		warm, cold := mem.Stats()
+		label := "hot-range melt"
+		if drill {
+			label = "melt + rebalance"
+		}
+		fmt.Printf("%-16s warm %d / cold %d (%.1f%% warm), p50=%v p95=%v p99=%v\n",
+			label, warm, cold, 100*mem.HitRatio(), lat.P50(), lat.P95(), lat.P99())
+		return results, ex, moved, splitKey
+	}
+
+	melt, _, _, _ := run(false)
+	rebal, ex, moved, splitKey := run(true)
+
+	same := len(melt) == len(rebal)
+	for i := 0; same && i < len(melt); i++ {
+		same = melt[i].Key == rebal[i].Key && melt[i].Value == rebal[i].Value &&
+			(melt[i].Err == nil) == (rebal[i].Err == nil)
+	}
+	m := ex.Metrics().Snapshot()
+	fmt.Printf("drill: split hot partition at key %d (observed load midpoint), moved %d live sessions to shard %d, splits recorded %d\n",
+		splitKey, moved, shards-1, m.PartitionSplits)
+	fmt.Printf("served results byte-equal with and without the drill: %v\n", same)
+	if !same {
+		log.Fatal("the rebalance drill changed served results; the drill must be control-plane only")
+	}
+}
+
+// hottestPartition returns the partition with the most recorded sessions.
+func hottestPartition(meta *partition.Meta) int {
+	best, bestN := 0, -1
+	for _, p := range meta.Parts {
+		if p.Sessions > bestN {
+			best, bestN = p.ID, p.Sessions
+		}
+	}
+	return best
+}
+
+// observedMedian returns the smallest key in [lo,hi) with at least half the
+// range's observed visit mass at or below it — the data-median split point a
+// range-sharded store would pick. Falls back to the key midpoint when the
+// range was never visited.
+func observedMedian(visits []apps.PartitionVisit, lo, hi uint64) uint64 {
+	counts := make(map[uint64]int)
+	total := 0
+	for _, v := range visits {
+		if v.Key >= lo && v.Key < hi {
+			counts[v.Key]++
+			total++
+		}
+	}
+	if total == 0 {
+		return lo + (hi-lo)/2
+	}
+	acc := 0
+	for k := lo; k < hi; k++ {
+		acc += counts[k]
+		if acc*2 >= total {
+			if k+1 >= hi {
+				return lo + (hi-lo)/2
+			}
+			return k + 1
+		}
+	}
+	return lo + (hi-lo)/2
 }

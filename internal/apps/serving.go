@@ -194,12 +194,23 @@ func (srv *DetectionServer) ServeSeq(reqs []DetectionRequest) []DetectionResult 
 // request's arrival stamp feeds the admission path, so its recorded
 // latency is queueing delay plus service time.
 func (srv *DetectionServer) serveOne(s *core.Session, i int, rq DetectionRequest) DetectionResult {
+	return srv.serveOnePre(s, i, rq, nil)
+}
+
+// serveOnePre is serveOne with an optional hook run on the serving shard
+// before the pipeline (inside the admitted invocation, so anything it
+// charges lands on the request's latency). The partition plane uses it for
+// warm/cold bookkeeping; a nil hook is exactly serveOne.
+func (srv *DetectionServer) serveOnePre(s *core.Session, i int, rq DetectionRequest, pre func(sh *core.Shard)) DetectionResult {
 	res := DetectionResult{User: rq.User}
 	arrival := rq.Arrival
 	if arrival <= 0 {
 		arrival = -1 // no stamp: arrives at admission
 	}
 	res.Err = s.DoAt(arrival, func(sh *core.Shard) error {
+		if pre != nil {
+			pre(sh)
+		}
 		path := fmt.Sprintf("/srv/req-%d.img", i)
 		sh.K.FS.WriteFile(path, rq.Body)
 		img, _, err := sh.Ex.Call("cv.imread", framework.Str(path))

@@ -349,11 +349,19 @@ type Executor struct {
 	gate      AdmissionGate
 	onReplace func(*Shard) error
 	place     func(session int, pool []PlacementInfo) int
-	loads     map[int]*shardLoad
-	tenants   map[int]*tenantLoad
-	grayp     GrayPolicy
-	hedgep    HedgePolicy
-	grays     map[int]*grayState
+	placeKey  func(session int, key uint64, pool []PlacementInfo) int
+	// pinned and tpinned are incremental unfinished-session counts per pool
+	// slot (total, and per tenant per slot). They replace the per-open scan
+	// over every session — at tens of thousands of sessions the scan made
+	// each open O(sessions) — and are maintained at open, finish, and
+	// migrate under mu, always matching what the scan would count.
+	pinned  map[int]int
+	tpinned map[int]map[int]int
+	loads   map[int]*shardLoad
+	tenants map[int]*tenantLoad
+	grayp   GrayPolicy
+	hedgep  HedgePolicy
+	grays   map[int]*grayState
 }
 
 // shardLoad accumulates per-pool-slot (shard id, across incarnations)
@@ -371,6 +379,10 @@ type shardLoad struct {
 type PlacementInfo struct {
 	// ID is the shard's pool slot.
 	ID int
+	// Gen is the slot's current incarnation — a cache-affinity placer
+	// needs it because a replacement shard's page cache is cold even
+	// though the slot id is unchanged.
+	Gen int
 	// Sessions is how many unfinished sessions are pinned to the shard.
 	Sessions int
 	// TenantSessions is how many of those belong to the tenant the
@@ -429,6 +441,8 @@ func NewExecutor(n int, factory ShardFactory) (*Executor, error) {
 		queue:   &vclock.Latencies{},
 		met:     metrics.New(),
 		killAt:  make(map[int]vclock.Duration),
+		pinned:  make(map[int]int),
+		tpinned: make(map[int]map[int]int),
 		loads:   make(map[int]*shardLoad),
 		tenants: make(map[int]*tenantLoad),
 		grays:   make(map[int]*grayState),
@@ -700,27 +714,61 @@ func (e *Executor) SetPlacement(fn func(session int, pool []PlacementInfo) int) 
 	e.place = fn
 }
 
+// SetKeyedPlacement installs the placement hook consulted for sessions
+// opened with a session key (SessionKeyed): it additionally sees the key,
+// so a partition-aware placer can score warm-cache affinity. Keyless opens
+// never consult it; keyed opens fall back to the plain hook (then
+// round-robin) when it is nil or declines — so with no keyed hook
+// installed, SessionKeyed is bit-identical to SessionFor.
+func (e *Executor) SetKeyedPlacement(fn func(session int, key uint64, pool []PlacementInfo) int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.placeKey = fn
+}
+
 // placementPoolLocked snapshots the live pool for a placement decision made
 // on behalf of a tenant (-1 for no tenant context: TenantSessions reads 0).
-// Caller holds e.mu.
+// Counts come from the incremental pinned maps, so a snapshot costs
+// O(shards) regardless of how many sessions have ever opened. Caller holds
+// e.mu.
 func (e *Executor) placementPoolLocked(tenant int) []PlacementInfo {
-	pinned := make(map[int]int)
-	tpinned := make(map[int]int)
-	for _, s := range e.sessions {
-		if s.Done() {
-			continue
-		}
-		id := s.Shard().ID
-		pinned[id]++
-		if tenant >= 0 && s.Tenant == tenant {
-			tpinned[id]++
-		}
+	var tp map[int]int
+	if tenant >= 0 {
+		tp = e.tpinned[tenant]
 	}
 	pool := make([]PlacementInfo, len(e.shards))
 	for i, sh := range e.shards {
-		pool[i] = PlacementInfo{ID: sh.ID, Sessions: pinned[sh.ID], TenantSessions: tpinned[sh.ID], Clock: sh.K.Clock.Now()}
+		pool[i] = PlacementInfo{ID: sh.ID, Gen: sh.Gen, Sessions: e.pinned[sh.ID], TenantSessions: tp[sh.ID], Clock: sh.K.Clock.Now()}
 	}
 	return pool
+}
+
+// pinLocked counts a newly opened session; caller holds e.mu.
+func (e *Executor) pinLocked(slot, tenant int) {
+	e.pinned[slot]++
+	tp := e.tpinned[tenant]
+	if tp == nil {
+		tp = make(map[int]int)
+		e.tpinned[tenant] = tp
+	}
+	tp[slot]++
+}
+
+// unpinLocked removes a finished session's pin; caller holds e.mu.
+func (e *Executor) unpinLocked(slot, tenant int) {
+	e.pinned[slot]--
+	if tp := e.tpinned[tenant]; tp != nil {
+		tp[slot]--
+	}
+}
+
+// movePin transfers an unfinished session's pin count between slots (a
+// migration). Callers must not hold e.mu or any session mu.
+func (e *Executor) movePin(from, to, tenant int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.unpinLocked(from, tenant)
+	e.pinLocked(to, tenant)
 }
 
 // Session opens a session pinned to a shard chosen by the placement hook —
@@ -736,13 +784,32 @@ func (e *Executor) Session() *Session { return e.SessionFor(0, 1) }
 // current spread across shards through PlacementInfo.TenantSessions.
 // Weights below 1 are lifted to 1.
 func (e *Executor) SessionFor(tenant, weight int) *Session {
+	return e.open(tenant, weight, 0, false)
+}
+
+// SessionKeyed opens a session carrying a stable session key — the identity
+// a returning user keeps across visits. Placement consults the keyed hook
+// first (SetKeyedPlacement), then the plain hook, then round-robin; with no
+// keyed hook installed the open is bit-identical to SessionFor.
+func (e *Executor) SessionKeyed(tenant, weight int, key uint64) *Session {
+	return e.open(tenant, weight, key, true)
+}
+
+// open is the shared session-open path.
+func (e *Executor) open(tenant, weight int, key uint64, keyed bool) *Session {
 	if weight < 1 {
 		weight = 1
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	id := len(e.sessions) % len(e.shards)
-	if e.place != nil {
+	placed := false
+	if keyed && e.placeKey != nil {
+		if p := e.placeKey(len(e.sessions), key, e.placementPoolLocked(tenant)); p >= 0 && p < len(e.shards) {
+			id, placed = p, true
+		}
+	}
+	if !placed && e.place != nil {
 		if p := e.place(len(e.sessions), e.placementPoolLocked(tenant)); p >= 0 && p < len(e.shards) {
 			id = p
 		}
@@ -751,12 +818,56 @@ func (e *Executor) SessionFor(tenant, weight int) *Session {
 		ID:     len(e.sessions),
 		Tenant: tenant,
 		Weight: weight,
+		Key:    key,
+		Keyed:  keyed,
 		ex:     e,
 		shard:  e.shards[id],
 		bound:  make(map[string]Handle),
 	}
 	e.sessions = append(e.sessions, s)
+	e.pinLocked(id, tenant)
 	return s
+}
+
+// SessionShard returns the shard the session in slot id is currently
+// pinned to, or nil for an unknown id.
+func (e *Executor) SessionShard(id int) *Shard {
+	e.mu.Lock()
+	if id < 0 || id >= len(e.sessions) {
+		e.mu.Unlock()
+		return nil
+	}
+	s := e.sessions[id]
+	e.mu.Unlock()
+	return s.Shard()
+}
+
+// SessionKey returns the session key of session id and whether that session
+// was opened keyed.
+func (e *Executor) SessionKey(id int) (uint64, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if id < 0 || id >= len(e.sessions) {
+		return 0, false
+	}
+	s := e.sessions[id]
+	return s.Key, s.Keyed
+}
+
+// KeyedSessionsIn returns the ids of unfinished keyed sessions whose key
+// falls in [lo, hi), ascending by id — the candidates a partition-rebalance
+// drill migrates when it moves a key range.
+func (e *Executor) KeyedSessionsIn(lo, hi uint64) []int {
+	e.mu.Lock()
+	sessions := append([]*Session(nil), e.sessions...)
+	e.mu.Unlock()
+	var out []int
+	for _, s := range sessions {
+		if s.Keyed && s.Key >= lo && s.Key < hi && !s.Done() {
+			out = append(out, s.ID)
+		}
+	}
+	return out
 }
 
 // Close shuts down every current shard's runtime (retired shards were
@@ -1068,18 +1179,11 @@ func (e *Executor) noteWait(id int, s *Session, wait vclock.Duration, failed boo
 func (e *Executor) ShardLoads() []ShardLoad {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	pinned := make(map[int]int)
-	for _, s := range e.sessions {
-		if s.Done() {
-			continue
-		}
-		pinned[s.Shard().ID]++
-	}
 	out := make([]ShardLoad, len(e.shards))
 	for i, sh := range e.shards {
 		out[i] = ShardLoad{
 			ID: sh.ID, Gen: sh.Gen,
-			Sessions: pinned[sh.ID],
+			Sessions: e.pinned[sh.ID],
 			Clock:    sh.K.Clock.Now(),
 			JoinedAt: sh.JoinedAt,
 		}
@@ -1146,7 +1250,12 @@ type Session struct {
 	// (Session() opens tenant 0 / weight 1, the single-tenant default).
 	Tenant int
 	Weight int
-	ex     *Executor
+	// Key is the stable session key a returning user keeps across visits;
+	// Keyed reports whether the session was opened with one
+	// (SessionKeyed). Both are fixed at open.
+	Key   uint64
+	Keyed bool
+	ex    *Executor
 
 	mu    sync.Mutex
 	shard *Shard
@@ -1170,11 +1279,21 @@ func (s *Session) pinnedTo(sh *Shard) bool {
 
 // Finish marks the session complete: it will issue no further invocations,
 // so the control plane stops counting it toward shard load and skips it
-// when migrating state off a drained or shrinking shard.
+// when migrating state off a drained or shrinking shard. The executor's
+// pinned counts are updated in the same critical section placement
+// snapshots read them under (e.mu before s.mu — the established order), so
+// no placement decision ever sees a half-finished session.
 func (s *Session) Finish() {
+	e := s.ex
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.done {
+		return
+	}
 	s.done = true
+	e.unpinLocked(s.shard.ID, s.Tenant)
 }
 
 // Done reports whether the session has been finished.
@@ -1216,10 +1335,11 @@ func (s *Session) Bound(name string) (Handle, bool) {
 // migrate moves the session to shard `to`, materializing every bound
 // handle's latest checkpoint into the replacement runtime. Bindings whose
 // state cannot be restored keep their (now dangling) handle and surface an
-// error; the session still moves — it must run somewhere.
+// error; the session still moves — it must run somewhere. Unfinished
+// sessions carry their pinned count to the destination slot (after s.mu is
+// released: session mu never orders before executor mu).
 func (s *Session) migrate(to *Shard) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	var firstErr error
 	names := make([]string, 0, len(s.bound))
 	for name := range s.bound {
@@ -1244,7 +1364,13 @@ func (s *Session) migrate(to *Shard) error {
 		}
 		s.bound[name] = nh
 	}
+	from := s.shard.ID
+	wasDone := s.done
 	s.shard = to
+	s.mu.Unlock()
+	if !wasDone && from != to.ID {
+		s.ex.movePin(from, to.ID, s.Tenant)
+	}
 	return firstErr
 }
 

@@ -31,6 +31,13 @@ type Message struct {
 	// Sum is an FNV-1a checksum of the payload as the sender intended it,
 	// letting the receiver detect in-transit corruption.
 	Sum uint64
+	// Epoch is the attempt number of the request (0 for the first send,
+	// bumped on every Retry of the same sequence). The server echoes it, so
+	// the client can tell a response to the current attempt from a stale
+	// answer to an abandoned one — e.g. a crash notification still in
+	// flight when the liveness probe already failed the call and the retry
+	// went out under the same sequence number.
+	Epoch uint32
 	// Payload is the marshalled body.
 	Payload []byte
 }

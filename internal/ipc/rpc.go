@@ -94,7 +94,8 @@ type Conn struct {
 	inject    Injector
 	deadline  time.Duration
 	peerAlive func() bool
-	pending   map[uint64]chan Message // outstanding calls awaiting a response
+	pending   map[uint64]*waiter // outstanding calls awaiting a response
+	epochs    map[uint64]uint32  // per-sequence attempt counters (retried seqs only)
 
 	demuxOnce sync.Once
 	demuxDone chan struct{}
@@ -110,7 +111,8 @@ func NewConn(capacity int, clock *vclock.Clock, cost vclock.CostModel) *Conn {
 		cost:      cost,
 		done:      make(map[uint64][]byte),
 		doneCap:   1024,
-		pending:   make(map[uint64]chan Message),
+		pending:   make(map[uint64]*waiter),
+		epochs:    make(map[uint64]uint32),
 		demuxDone: make(chan struct{}),
 	}
 }
@@ -164,11 +166,20 @@ func (c *Conn) startDemux() {
 	c.demuxOnce.Do(func() { go c.demux() })
 }
 
+// waiter is one outstanding call: the channel its response arrives on and
+// the attempt epoch it belongs to, so demux can drop stale answers to
+// abandoned attempts of the same sequence before they occupy the buffer.
+type waiter struct {
+	ch    chan Message
+	epoch uint32
+}
+
 // demux is the client side's response-matching loop: every message on the
 // response ring is routed to the outstanding call registered under its
 // sequence number. Responses for abandoned sequences (a timed-out call
 // whose answer arrived late, or a duplicate the dedup cache answered twice)
-// are dropped. Exits — releasing every waiter — when the ring closes.
+// and for abandoned attempts (a stale epoch under a retried sequence) are
+// dropped. Exits — releasing every waiter — when the ring closes.
 func (c *Conn) demux() {
 	defer close(c.demuxDone)
 	for {
@@ -177,13 +188,13 @@ func (c *Conn) demux() {
 			return
 		}
 		c.mu.Lock()
-		ch := c.pending[m.Seq]
+		w := c.pending[m.Seq]
 		c.mu.Unlock()
-		if ch == nil {
-			continue // nobody is waiting for this sequence anymore
+		if w == nil || w.epoch != m.Epoch {
+			continue // nobody is waiting for this attempt anymore
 		}
 		select {
-		case ch <- m:
+		case w.ch <- m:
 		default:
 			// The waiter's buffer already holds an answer for this seq
 			// (duplicated response); it needs only one.
@@ -191,18 +202,18 @@ func (c *Conn) demux() {
 	}
 }
 
-// await registers seq as outstanding and returns the channel its response
-// will arrive on. Must be called before the request is sent, so a fast
-// server cannot answer into the void.
-func (c *Conn) await(seq uint64) chan Message {
+// await registers seq as outstanding at the given attempt epoch and returns
+// the channel its response will arrive on. Must be called before the
+// request is sent, so a fast server cannot answer into the void.
+func (c *Conn) await(seq uint64, epoch uint32) chan Message {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	ch, ok := c.pending[seq]
-	if !ok {
-		ch = make(chan Message, 1)
-		c.pending[seq] = ch
+	w, ok := c.pending[seq]
+	if !ok || w.epoch != epoch {
+		w = &waiter{ch: make(chan Message, 1), epoch: epoch}
+		c.pending[seq] = w
 	}
-	return ch
+	return w.ch
 }
 
 // abandon deregisters an outstanding sequence; late responses for it are
@@ -265,7 +276,7 @@ func (c *Conn) Serve(h Handler) {
 			// Damaged in transit: reject before dispatch so a Retry with
 			// the same sequence can still execute exactly once.
 			out := []byte("request checksum mismatch")
-			_ = c.resp.Send(Message{Seq: m.Seq, Kind: respKindCorrupt, Sum: sum64(out), Payload: out})
+			_ = c.resp.Send(Message{Seq: m.Seq, Kind: respKindCorrupt, Sum: sum64(out), Epoch: m.Epoch, Payload: out})
 			continue
 		}
 		c.mu.Lock()
@@ -275,13 +286,13 @@ func (c *Conn) Serve(h Handler) {
 		}
 		c.mu.Unlock()
 		if dup {
-			_ = c.resp.Send(Message{Seq: m.Seq, Kind: respKindOK, Sum: sum64(cached), Payload: cached})
+			_ = c.resp.Send(Message{Seq: m.Seq, Kind: respKindOK, Sum: sum64(cached), Epoch: m.Epoch, Payload: cached})
 			continue
 		}
 		out, err := h(m.Kind, m.Payload)
 		if err != nil && errors.Is(err, ErrAgentCrashed) {
 			p := []byte(err.Error())
-			_ = c.resp.Send(Message{Seq: m.Seq, Kind: respKindCrash, Sum: sum64(p), Payload: p})
+			_ = c.resp.Send(Message{Seq: m.Seq, Kind: respKindCrash, Sum: sum64(p), Epoch: m.Epoch, Payload: p})
 			continue
 		}
 		if err != nil {
@@ -292,7 +303,7 @@ func (c *Conn) Serve(h Handler) {
 			out = append([]byte("="), out...)
 		}
 		c.remember(m.Seq, out)
-		_ = c.resp.Send(Message{Seq: m.Seq, Kind: respKindOK, Sum: sum64(out), Payload: out})
+		_ = c.resp.Send(Message{Seq: m.Seq, Kind: respKindOK, Sum: sum64(out), Epoch: m.Epoch, Payload: out})
 	}
 }
 
@@ -342,10 +353,18 @@ func (c *Conn) callSeq(seq uint64, kind uint32, payload []byte, retry bool) ([]b
 	c.startDemux()
 	c.mu.Lock()
 	inject, deadline, alive := c.inject, c.deadline, c.peerAlive
+	epoch := c.epochs[seq]
+	if retry {
+		// A new attempt under the same sequence: stale answers to the
+		// abandoned attempt (e.g. a crash notification still in flight)
+		// must not be mistaken for this one's response.
+		epoch++
+		c.epochs[seq] = epoch
+	}
 	c.mu.Unlock()
 
 	// Register before sending: a fast server must find the waiter in place.
-	ch := c.await(seq)
+	ch := c.await(seq, epoch)
 	defer c.abandon(seq)
 
 	send := payload
@@ -364,7 +383,7 @@ func (c *Conn) callSeq(seq uint64, kind uint32, payload []byte, retry bool) ([]b
 			send = corrupted(payload)
 		}
 		// Sum covers the payload as intended, so corruption is detectable.
-		m := Message{Seq: seq, Kind: kind, Sum: sum64(payload), Payload: send}
+		m := Message{Seq: seq, Kind: kind, Sum: sum64(payload), Epoch: epoch, Payload: send}
 		if err := c.req.Send(m); err != nil {
 			return nil, err
 		}
@@ -374,7 +393,7 @@ func (c *Conn) callSeq(seq uint64, kind uint32, payload []byte, retry bool) ([]b
 			}
 		}
 	} else {
-		if err := c.req.Send(Message{Seq: seq, Kind: kind, Sum: sum64(payload), Payload: payload}); err != nil {
+		if err := c.req.Send(Message{Seq: seq, Kind: kind, Sum: sum64(payload), Epoch: epoch, Payload: payload}); err != nil {
 			return nil, err
 		}
 	}
@@ -382,6 +401,16 @@ func (c *Conn) callSeq(seq uint64, kind uint32, payload []byte, retry bool) ([]b
 	m, err := c.waitResponse(seq, ch, deadline, alive)
 	if err != nil {
 		return nil, err
+	}
+	if m.Kind == respKindCrash {
+		// A crash notification is control-plane bookkeeping, not a data
+		// message: it consumes no injector decision and charges nothing.
+		// That keeps the two ways a caller can observe the same crash —
+		// this notification, or the peer-liveness probe firing first when
+		// the notification is still in flight — byte-identical in both the
+		// injection decision stream and the virtual clock, so a replay
+		// cannot diverge on which one won the (real-time) race.
+		return nil, fmt.Errorf("%w: %s", ErrAgentCrashed, m.Payload)
 	}
 	if inject != nil {
 		f := inject.ResponseFault(seq, m.Payload)
@@ -413,9 +442,11 @@ func (c *Conn) callSeq(seq uint64, kind uint32, payload []byte, retry bool) ([]b
 	if m.Kind == respKindCorrupt || sum64(m.Payload) != m.Sum {
 		return nil, fmt.Errorf("%w: seq %d", ErrCorrupt, seq)
 	}
-	if m.Kind == respKindCrash {
-		return nil, fmt.Errorf("%w: %s", ErrAgentCrashed, m.Payload)
-	}
+	// The response was accepted: no further attempts will reuse this seq,
+	// so its attempt counter can go.
+	c.mu.Lock()
+	delete(c.epochs, seq)
+	c.mu.Unlock()
 	if len(m.Payload) == 0 {
 		return nil, errors.New("ipc: malformed empty response")
 	}

@@ -59,6 +59,10 @@ type Counters struct {
 	hedgeWins    uint64
 	hedgeCancels uint64
 	hedgeWork    vclock.Duration
+
+	warmHits        uint64
+	coldMisses      uint64
+	partitionSplits uint64
 }
 
 // TenantCounts is one tenant's share of the serving outcome: invocations
@@ -170,6 +174,15 @@ type Snapshot struct {
 	// executions — the extra-work numerator of the gray campaign's
 	// bounded-overhead claim (divide by Executor.TotalWork).
 	HedgeWork vclock.Duration
+
+	// WarmHits counts session visits landing on a shard whose simulated
+	// page cache still held the session's working set; ColdMisses counts
+	// visits that had to re-fault it in (and paid ColdMissCost).
+	// PartitionSplits counts hot-range splits performed by the
+	// partition-rebalance drill.
+	WarmHits        uint64
+	ColdMisses      uint64
+	PartitionSplits uint64
 }
 
 // New creates zeroed counters.
@@ -436,6 +449,30 @@ func (c *Counters) AddHedgeCancel() {
 	c.hedgeCancels++
 }
 
+// AddWarmHit records one session visit placed on a shard whose simulated
+// page cache already held the session's working set.
+func (c *Counters) AddWarmHit() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.warmHits++
+}
+
+// AddColdMiss records one session visit that found a cold cache and paid
+// the re-fault cost.
+func (c *Counters) AddColdMiss() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.coldMisses++
+}
+
+// AddPartitionSplit records one hot-range split performed by the
+// partition-rebalance drill.
+func (c *Counters) AddPartitionSplit() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.partitionSplits++
+}
+
 // AddHedgeWork records d of virtual service time spent on a hedge
 // execution (charged whether or not the hedge won).
 func (c *Counters) AddHedgeWork(d vclock.Duration) {
@@ -489,6 +526,8 @@ func (c *Counters) Snapshot() Snapshot {
 		GrayDrains:  c.grayDrains,
 		Hedges:      c.hedges, HedgeWins: c.hedgeWins,
 		HedgeCancels: c.hedgeCancels, HedgeWork: c.hedgeWork,
+		WarmHits: c.warmHits, ColdMisses: c.coldMisses,
+		PartitionSplits: c.partitionSplits,
 	}
 }
 

@@ -86,3 +86,16 @@ func TestConcurrentCounters(t *testing.T) {
 		t.Fatalf("concurrent IPC count = %d", got)
 	}
 }
+
+func TestWarmColdCounters(t *testing.T) {
+	c := New()
+	c.AddWarmHit()
+	c.AddWarmHit()
+	c.AddColdMiss()
+	c.AddPartitionSplit()
+	s := c.Snapshot()
+	if s.WarmHits != 2 || s.ColdMisses != 1 || s.PartitionSplits != 1 {
+		t.Fatalf("warm/cold counters = %d/%d/%d, want 2/1/1",
+			s.WarmHits, s.ColdMisses, s.PartitionSplits)
+	}
+}

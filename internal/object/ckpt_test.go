@@ -2,6 +2,8 @@ package object
 
 import (
 	"bytes"
+	"fmt"
+	"sync"
 	"testing"
 
 	"freepart.dev/freepart/internal/mem"
@@ -145,5 +147,87 @@ func TestCheckpointMaterialize(t *testing.T) {
 	}
 	if !bytes.Equal(got, pl) {
 		t.Fatalf("materialized payload = %q, want %q", got, pl)
+	}
+}
+
+func TestCheckpointLogCompactDuringMigrationWave(t *testing.T) {
+	// Compaction racing a live migration wave: writer goroutines keep
+	// checkpointing session state (the shards still serving), reader
+	// goroutines adopt latest checkpoints (the sessions mid-migration), and
+	// the control plane compacts concurrently throughout. At every moment a
+	// reader must see a complete, newest-at-read-time version of its key,
+	// and the log must stay bounded after the final pass. Run under -race
+	// in CI via the partition soak gate.
+	l := NewCheckpointLog()
+	const sessions, rounds = 16, 50
+	keys := make([]CheckpointKey, sessions)
+	for i := range keys {
+		keys[i] = CheckpointKey{Session: i, Type: 1, Slot: Slot(2, uint64(i))}
+		l.Append(keys[i], KindBlob, nil, []byte{0, byte(i)})
+	}
+
+	var wg sync.WaitGroup
+	// Writers: each session's shard appends new versions through the wave.
+	for i := range keys {
+		wg.Add(1)
+		go func(k CheckpointKey, id int) {
+			defer wg.Done()
+			for r := 1; r <= rounds; r++ {
+				l.Append(k, KindBlob, nil, []byte{byte(r), byte(id)})
+			}
+		}(keys[i], i)
+	}
+	// Readers: the migration wave adopts each session's latest repeatedly.
+	errs := make(chan error, sessions)
+	for i := range keys {
+		wg.Add(1)
+		go func(k CheckpointKey, id int) {
+			defer wg.Done()
+			prev := -1
+			for r := 0; r < rounds; r++ {
+				cp, ok := l.LatestSlot(k.Session, k.Slot)
+				if !ok {
+					errs <- fmt.Errorf("session %d: latest vanished mid-wave", id)
+					return
+				}
+				if len(cp.Payload) != 2 || cp.Payload[1] != byte(id) {
+					errs <- fmt.Errorf("session %d: torn or foreign payload %v", id, cp.Payload)
+					return
+				}
+				if v := int(cp.Payload[0]); v < prev {
+					errs <- fmt.Errorf("session %d: version went backwards %d -> %d", id, prev, v)
+					return
+				} else {
+					prev = v
+				}
+			}
+		}(keys[i], i)
+	}
+	// The control plane: compact after "each migration wave", concurrently
+	// with both.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for p := 0; p < 20; p++ {
+			l.Compact()
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Bounded memory: the final pass holds one retained version per key.
+	l.Compact()
+	if got := l.Len(); got != sessions {
+		t.Fatalf("log retains %d versions after the wave, want %d", got, sessions)
+	}
+	// And the newest version per key survived every concurrent pass.
+	for i, k := range keys {
+		cp, ok := l.Latest(k)
+		if !ok || cp.Payload[0] != rounds || cp.Payload[1] != byte(i) {
+			t.Fatalf("key %d: latest = %v %v, want round-%d payload", i, ok, cp.Payload, rounds)
+		}
 	}
 }

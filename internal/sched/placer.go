@@ -167,7 +167,11 @@ func (l Locality) home(session int, pool []core.PlacementInfo) int {
 }
 
 // choose scores the pool: fewest sessions wins, but off-home shards are
-// handicapped by the spill threshold; lowest slot id breaks ties.
+// handicapped by the spill threshold. Ties break by lowest socket id first,
+// then lowest slot id — explicitly, so equal-scoring candidates on
+// different sockets resolve the same way regardless of how the pool
+// snapshot happens to be ordered, and placers composing on top of Locality
+// (PartitionAware) inherit a deterministic fallback.
 func (l Locality) choose(session int, pool []core.PlacementInfo, exclude int) int {
 	home := l.home(session, pool)
 	best, bestScore := -1, 0
@@ -179,7 +183,10 @@ func (l Locality) choose(session int, pool []core.PlacementInfo, exclude int) in
 		if l.Topo.Socket(p.ID) != home {
 			score += l.spill()
 		}
-		if best < 0 || score < bestScore || (score == bestScore && p.ID < best) {
+		tieWins := best >= 0 && score == bestScore &&
+			(l.Topo.Socket(p.ID) < l.Topo.Socket(best) ||
+				(l.Topo.Socket(p.ID) == l.Topo.Socket(best) && p.ID < best))
+		if best < 0 || score < bestScore || tieWins {
 			best, bestScore = p.ID, score
 		}
 	}

@@ -184,6 +184,11 @@ func New(ex *core.Executor, pol Policy, placer Placer) *Controller {
 	ex.SetPlacement(func(session int, pool []core.PlacementInfo) int {
 		return p.Place(session, c.readyPool(pool))
 	})
+	if kp, ok := p.(KeyedPlacer); ok {
+		ex.SetKeyedPlacement(func(session int, key uint64, pool []core.PlacementInfo) int {
+			return kp.PlaceKeyed(session, key, c.readyPool(pool))
+		})
+	}
 	return c
 }
 

@@ -112,6 +112,35 @@ func TestLocalitySpillsUnderLoad(t *testing.T) {
 	}
 }
 
+func TestLocalitySocketTieBreak(t *testing.T) {
+	// Equal-scoring candidates on different sockets must resolve to the
+	// lowest socket id explicitly — not whatever order the pool snapshot
+	// happens to arrive in. Session 0's home is socket 0; shards 2 (socket
+	// 1) and 4 (socket 2) are both remote with equal load, so both score
+	// sessions+spill: socket 1 must win, even listed last.
+	l := sched.Locality{Topo: sched.Topology{ShardsPerSocket: 2}, SpillThreshold: 1}
+	pool := []core.PlacementInfo{
+		{ID: 4, Sessions: 0},                       // socket 2, remote
+		{ID: 0, Sessions: 9}, {ID: 1, Sessions: 9}, // socket 0, home, overloaded
+		{ID: 2, Sessions: 0}, // socket 1, remote — same score as shard 4
+	}
+	if got := l.Place(0, pool); got != 2 {
+		t.Fatalf("equal-score tie resolved to shard %d, want 2 (lowest socket id)", got)
+	}
+	// Reversed snapshot order must not change the answer.
+	rev := []core.PlacementInfo{pool[3], pool[2], pool[1], pool[0]}
+	if got := l.Place(0, rev); got != 2 {
+		t.Fatalf("reversed pool order changed the tie-break: shard %d, want 2", got)
+	}
+	// Within one socket the lower slot id still wins.
+	same := []core.PlacementInfo{
+		{ID: 3, Sessions: 1}, {ID: 2, Sessions: 1}, // socket 1, tied
+	}
+	if got := l.Place(2, same); got != 2 {
+		t.Fatalf("same-socket tie resolved to shard %d, want 2 (lowest slot)", got)
+	}
+}
+
 // inertPolicy scales nothing: it pins the pool, disables every signal, and
 // keeps batching off.
 func inertPolicy(n int) sched.Policy {

@@ -72,6 +72,16 @@ type CostModel struct {
 	// buffer between protection domains inside one address space: a plain
 	// memcpy with no serialization, no page remapping, and warm caches.
 	DomainCopyPerBytePS int64
+	// CacheFault is the fixed cost of the first touch of a session's
+	// working set on a shard whose (simulated) page cache is cold: a major
+	// fault's trap, page allocation, and read-ahead setup.
+	CacheFault Duration
+	// ColdMissPerBytePS is the per-byte cost in picoseconds of re-reading a
+	// session's working set from backing storage into a cold page cache.
+	// A warm shard pays neither this nor CacheFault — the spread between
+	// the two is what partition-aware placement arbitrages, exactly as
+	// SocketHop/CrossSocketPerBytePS price NUMA-oblivious migration.
+	ColdMissPerBytePS int64
 }
 
 // Default returns the calibrated cost model used by all experiments.
@@ -94,6 +104,8 @@ func Default() CostModel {
 		CrossSocketPerBytePS: 800,                  // 0.8 ns/B of remote-memory penalty
 		DomainSwitch:         30 * time.Nanosecond, // ~100 cycles per WRPKRU (ERIM)
 		DomainCopyPerBytePS:  250,                  // 0.25 ns/B, in-address-space memcpy
+		CacheFault:           2 * time.Microsecond, // major-fault trap + alloc + read-ahead
+		ColdMissPerBytePS:    1200,                 // 1.2 ns/B re-read from backing storage
 	}
 }
 
@@ -176,4 +188,14 @@ func (m CostModel) CrossSocketCost(n int) Duration {
 		n = 0
 	}
 	return m.SocketHop + psToDuration(int64(n)*m.CrossSocketPerBytePS)
+}
+
+// ColdMissCost returns the virtual cost of a session's first touch of n
+// working-set bytes on a shard whose page cache is cold: one major fault
+// plus the storage re-read per byte. A warm hit costs nothing.
+func (m CostModel) ColdMissCost(n int) Duration {
+	if n < 0 {
+		n = 0
+	}
+	return m.CacheFault + psToDuration(int64(n)*m.ColdMissPerBytePS)
 }

@@ -216,3 +216,26 @@ func TestLatencyEmptyAndNegative(t *testing.T) {
 		t.Fatalf("negative sample must clamp to zero, got %v", l.P50())
 	}
 }
+
+func TestColdMissCost(t *testing.T) {
+	m := Default()
+	if m.CacheFault <= 0 || m.ColdMissPerBytePS <= 0 {
+		t.Fatalf("default cost model has non-positive cold-miss constants: %+v", m)
+	}
+	if got, want := m.ColdMissCost(0), m.CacheFault; got != want {
+		t.Fatalf("ColdMissCost(0) = %v, want the fixed fault cost %v", got, want)
+	}
+	if got, want := m.ColdMissCost(-3), m.CacheFault; got != want {
+		t.Fatalf("ColdMissCost(-3) = %v, want %v", got, want)
+	}
+	// 1000 bytes at 1.2 ns/B on top of the fixed fault.
+	if got, want := m.ColdMissCost(1000), m.CacheFault+1200*time.Nanosecond; got != want {
+		t.Fatalf("ColdMissCost(1000) = %v, want %v", got, want)
+	}
+	// A cold miss must out-price a cross-socket hop for the same bytes —
+	// otherwise partition-aware placement could never beat pure locality.
+	if m.ColdMissCost(4096) <= m.CrossSocketCost(4096) {
+		t.Fatalf("ColdMissCost(4096)=%v should exceed CrossSocketCost(4096)=%v",
+			m.ColdMissCost(4096), m.CrossSocketCost(4096))
+	}
+}
